@@ -1,0 +1,61 @@
+"""Ablation — the itemset length cap (Sec. III-D).
+
+The paper limits frequent itemsets to 5 items "which prevents generating
+rules that are too descriptive and specific to the samples".  This bench
+sweeps the cap on the PAI trace, measuring the itemset/rule blow-up the
+cap prevents and verifying that the kept (pruned) rule families are
+stable once the cap covers the planted pattern sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core import MiningConfig, mine_frequent_itemsets, mine_keyword_rules
+from repro.viz import series_table
+
+from bench_util import write_artifact
+
+MAXLENS = [2, 3, 4, 5, 6]
+
+
+def test_ablation_maxlen(benchmark, all_results, paper_config):
+    db = all_results["PAI"].database
+
+    benchmark.pedantic(
+        lambda: mine_frequent_itemsets(db, paper_config.with_(max_len=5)),
+        rounds=3,
+        iterations=1,
+    )
+
+    n_itemsets, n_rules, n_kept = [], [], []
+    for max_len in MAXLENS:
+        config = paper_config.with_(max_len=max_len)
+        fis = mine_frequent_itemsets(db, config)
+        result = mine_keyword_rules(db, "SM Util = 0%", config, itemsets=fis)
+        n_itemsets.append(len(fis))
+        n_rules.append(result.n_rules_before_pruning)
+        n_kept.append(len(result))
+
+    text = series_table(
+        "max_len",
+        MAXLENS,
+        {
+            "frequent itemsets": n_itemsets,
+            "rules before pruning": n_rules,
+            "rules kept": n_kept,
+        },
+        title="Itemset-length-cap ablation — PAI underutilization keyword",
+    )
+    write_artifact("ablation_maxlen.txt", text)
+    print("\n" + text)
+
+    # the blow-up the cap controls: monotone growth, steep past length 3
+    assert n_itemsets == sorted(n_itemsets)
+    assert n_rules == sorted(n_rules)
+    assert n_rules[-1] > 3 * n_rules[0]
+    # pruning keeps the output manageable once nested rules exist (at
+    # max_len=2 every rule is a 1⇒1 pair, so Conditions 1–4 have nothing
+    # to compare and kept == raw)
+    for max_len, kept, raw in zip(MAXLENS, n_kept, n_rules):
+        assert kept <= raw
+        if max_len >= 3:
+            assert kept < raw

@@ -1,0 +1,138 @@
+"""Ablation — scheduling policy and failure injection (operational insights).
+
+Two of the paper's operational observations are mechanisms, not just
+correlations, and the simulator substrate can demonstrate them:
+
+* **PHI1 takeaway** ("a job scheduler should consider the potential long
+  execution time of multi-GPU jobs, especially for policies like
+  shortest-jobs-first"): under SJF, long jobs' queue delays inflate
+  relative to FCFS while short jobs win.
+* **Table VI A2 mechanism** ("these errors are likely caused by node
+  failures or exceeding allocated time limits"): with time limits and
+  node MTBF enabled, injected failures concentrate at long runtimes —
+  reproducing the failed ⇒ Runtime = Bin4 association mechanistically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    FailureModel,
+    FCFSScheduler,
+    JobRequest,
+    NodeSpec,
+    build_nodes,
+)
+
+from bench_util import write_artifact
+
+
+def _workload(n: int, seed: int) -> list[JobRequest]:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        long_job = rng.random() < 0.2
+        jobs.append(
+            JobRequest(
+                job_id=i,
+                user=f"u{int(rng.integers(0, 30))}",
+                submit_time=float(rng.uniform(0, 30_000)),
+                runtime=float(rng.lognormal(8.5, 0.4)) if long_job
+                else float(rng.lognormal(5.5, 0.6)),
+                n_gpus=int(rng.integers(1, 3)),
+                n_cpus=4,
+                mem_gb=16.0,
+                gpu_type="V100",
+            )
+        )
+    return jobs
+
+
+def _mean_delay(placements, predicate):
+    delays = [
+        p.start_time - p.request.submit_time
+        for p in placements
+        if predicate(p.request)
+    ]
+    return float(np.mean(delays)) if delays else 0.0
+
+
+def test_ablation_scheduling_policy(benchmark):
+    cluster = ClusterSpec.of((NodeSpec("n", "V100", 4, 64, 256), 3))
+    jobs = _workload(800, seed=21)
+
+    def run(policy):
+        return FCFSScheduler(build_nodes(cluster), policy=policy).run(
+            [  # fresh copies: the scheduler consumes mutable requests
+                JobRequest(
+                    job_id=j.job_id, user=j.user, submit_time=j.submit_time,
+                    runtime=j.runtime, n_gpus=j.n_gpus, n_cpus=j.n_cpus,
+                    mem_gb=j.mem_gb, gpu_type=j.gpu_type,
+                )
+                for j in jobs
+            ]
+        )[0]
+
+    fcfs = run("fcfs")
+    sjf = benchmark.pedantic(lambda: run("sjf"), rounds=3, iterations=1)
+
+    is_long = lambda r: r.runtime > 2000  # noqa: E731
+    rows = {
+        "short jobs, FCFS": _mean_delay(fcfs, lambda r: not is_long(r)),
+        "short jobs, SJF": _mean_delay(sjf, lambda r: not is_long(r)),
+        "long jobs, FCFS": _mean_delay(fcfs, is_long),
+        "long jobs, SJF": _mean_delay(sjf, is_long),
+    }
+    lines = ["Scheduling-policy ablation — mean queue delay (s)", ""]
+    lines += [f"{k:<20} {v:10.1f}" for k, v in rows.items()]
+    text = "\n".join(lines)
+    write_artifact("ablation_scheduling.txt", text)
+    print("\n" + text)
+
+    assert rows["short jobs, SJF"] < rows["short jobs, FCFS"]
+    # SJF shifts the waiting burden onto long jobs: their delay *relative
+    # to short jobs* grows (under saturation absolute delays can shrink
+    # for everyone because SJF drains the queue more efficiently)
+    ratio_fcfs = rows["long jobs, FCFS"] / max(rows["short jobs, FCFS"], 1e-9)
+    ratio_sjf = rows["long jobs, SJF"] / max(rows["short jobs, SJF"], 1e-9)
+    assert ratio_sjf > 1.3 * ratio_fcfs
+
+
+def test_failure_injection_mechanism(benchmark):
+    cluster = ClusterSpec.of((NodeSpec("n", "V100", 8, 64, 256), 4))
+    jobs = _workload(700, seed=22)
+    limit = float(np.quantile([j.runtime for j in jobs], 0.93))
+
+    sim = ClusterSimulator(
+        cluster,
+        seed=3,
+        failures=FailureModel(
+            time_limit_s=limit, node_mtbf_s=2e5, node_repair_s=600.0, seed=3
+        ),
+    )
+    table = benchmark.pedantic(lambda: sim.run(jobs).to_table(), rounds=1, iterations=1)
+
+    failed = np.asarray([s == "failed" for s in table["status"].to_list()])
+    rt = table["runtime"].values
+    q3 = np.quantile(rt, 0.75)
+    share_late = float((rt[failed] >= q3).mean())
+    lines = [
+        "Failure-injection mechanism — where do injected failures land?",
+        "",
+        f"time limit            : {limit:.0f}s (93rd pct of planned runtimes)",
+        f"node MTBF             : 2e5 s",
+        f"failed jobs           : {int(failed.sum())} of {len(table)}",
+        f"failures in Runtime Bin4: {share_late:.0%}",
+        "",
+        "matches Table VI A2: failures concentrate at long runtimes when",
+        "caused by limits/node loss, not by early crashes.",
+    ]
+    text = "\n".join(lines)
+    write_artifact("ablation_failure_injection.txt", text)
+    print("\n" + text)
+
+    assert failed.any()
+    assert share_late > 0.6  # injected failures are overwhelmingly late

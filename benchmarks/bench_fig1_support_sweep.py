@@ -1,0 +1,56 @@
+"""Fig. 1 — number of frequent itemsets at different minimum support.
+
+The paper reports, at 5 % support with max length 5: PAI ≈ 232k,
+SuperCloud ≈ 7.5k, Philly ≈ 1.2k itemsets, decreasing monotonically in
+the threshold.  The synthetic traces have fewer features than production
+PAI, so absolute counts are smaller; the shape targets are the monotone
+decrease and the PAI ≫ SuperCloud ≥ Philly ordering.
+"""
+
+from __future__ import annotations
+
+from repro.core import MiningConfig, mine_frequent_itemsets
+from repro.viz import series_table
+
+from bench_util import write_artifact
+
+SUPPORTS = [0.025, 0.05, 0.075, 0.10, 0.15]
+
+
+def _sweep(database):
+    counts = []
+    for s in SUPPORTS:
+        fis = mine_frequent_itemsets(
+            database, MiningConfig(min_support=s, max_len=5)
+        )
+        counts.append(len(fis))
+    return counts
+
+
+def test_fig1_support_sweep(benchmark, all_results):
+    series = {name: _sweep(result.database) for name, result in all_results.items()}
+
+    # timed step: one FP-Growth pass at the paper's 5 % threshold on PAI
+    pai_db = all_results["PAI"].database
+    benchmark.pedantic(
+        lambda: mine_frequent_itemsets(pai_db, MiningConfig()),
+        rounds=3,
+        iterations=1,
+    )
+
+    text = series_table(
+        "min_support",
+        SUPPORTS,
+        series,
+        title="Fig. 1 — frequent itemsets vs minimum support (FP-Growth, maxlen 5)",
+    )
+    write_artifact("fig1_support_sweep.txt", text)
+    print("\n" + text)
+
+    for counts in series.values():
+        assert counts == sorted(counts, reverse=True), "monotone decrease"
+    at_5pct = {name: counts[1] for name, counts in series.items()}
+    # paper ordering: PAI has by far the most itemsets
+    assert at_5pct["PAI"] > at_5pct["SuperCloud"]
+    assert at_5pct["PAI"] > at_5pct["Philly"]
+    assert at_5pct["Philly"] > 100  # paper: >1.2k even for the smallest trace

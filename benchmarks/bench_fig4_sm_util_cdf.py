@@ -1,0 +1,51 @@
+"""Fig. 4 — CDF of GPU SM utilisation; near-zero shares per trace.
+
+Paper: 46 % (PAI), 10 % (SuperCloud) and 35 % (Philly) of jobs "barely
+use the GPU processor".  Shape targets: the ordering PAI > Philly >
+SuperCloud and coarse magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.viz import cdf_chart, empirical_cdf
+
+from bench_util import write_artifact
+
+PAPER_NEAR_ZERO = {"PAI": 0.46, "SuperCloud": 0.10, "Philly": 0.35}
+
+
+def test_fig4_sm_util_cdf(benchmark, all_tables):
+    cdfs = {
+        name: empirical_cdf(table["sm_util"].values)
+        for name, table in all_tables.items()
+    }
+
+    pai_values = all_tables["PAI"]["sm_util"].values
+    benchmark.pedantic(lambda: empirical_cdf(pai_values), rounds=5, iterations=1)
+
+    parts = []
+    shares = {}
+    for name, cdf in cdfs.items():
+        shares[name] = cdf.share_at_most(0.0)
+        parts.append(
+            cdf_chart(
+                cdf,
+                [0, 10, 25, 50, 75, 100],
+                title=(
+                    f"Fig. 4 ({name}) — SM-util CDF; near-zero share "
+                    f"{shares[name]:.1%} (paper {PAPER_NEAR_ZERO[name]:.0%})"
+                ),
+            )
+        )
+    text = "\n\n".join(parts)
+    write_artifact("fig4_sm_util_cdf.txt", text)
+    print("\n" + text)
+
+    # shape: ordering and coarse magnitudes
+    assert shares["PAI"] > shares["Philly"] > shares["SuperCloud"]
+    assert abs(shares["PAI"] - 0.46) < 0.15
+    assert abs(shares["Philly"] - 0.35) < 0.12
+    assert abs(shares["SuperCloud"] - 0.10) < 0.10
+    # the CDF is 1 at full utilisation
+    for cdf in cdfs.values():
+        assert cdf.at(100.0) == 1.0

@@ -1,0 +1,44 @@
+"""Fig. 5 — job exit-status distribution per trace.
+
+Paper shape: PAI has the highest failure rate (and no user-kill label);
+SuperCloud and Philly split terminations into completed / killed /
+failed, with failed > 13 % everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.viz import bar_chart
+
+from bench_util import write_artifact
+
+
+def _status_shares(table):
+    statuses = table["status"].to_list()
+    counts = Counter(statuses)
+    total = len(statuses)
+    return {status: count / total for status, count in sorted(counts.items())}
+
+
+def test_fig5_exit_status(benchmark, all_tables):
+    shares = {name: _status_shares(t) for name, t in all_tables.items()}
+
+    benchmark.pedantic(
+        lambda: _status_shares(all_tables["PAI"]), rounds=5, iterations=1
+    )
+
+    parts = [
+        bar_chart(s, title=f"Fig. 5 ({name}) — job exit status")
+        for name, s in shares.items()
+    ]
+    text = "\n\n".join(parts)
+    write_artifact("fig5_exit_status.txt", text)
+    print("\n" + text)
+
+    # shape checks
+    assert "killed" not in shares["PAI"], "PAI has no user-kill label"
+    assert "killed" in shares["SuperCloud"] and "killed" in shares["Philly"]
+    failed = {name: s.get("failed", 0.0) for name, s in shares.items()}
+    assert failed["PAI"] == max(failed.values())
+    assert all(f > 0.10 for f in failed.values())  # paper: > 13 %

@@ -1,0 +1,55 @@
+"""Table VI — job failure rules from the SuperCloud trace.
+
+Paper rows (shape targets):
+
+* C1/C2: low GMem-util / low CPU-util jobs ≈ 2× more likely to fail, at
+  *low* confidence (≈ 0.25) — failure is not cleanly predictable here
+  ("more complex models such as neural networks will be needed");
+* A2: ≈ 40 % of failed jobs ran very long before dying (Runtime = Bin4).
+"""
+
+from __future__ import annotations
+
+from repro.core import mine_keyword_rules
+
+from bench_util import keyword_table_artifact, rules_with
+
+
+def test_table6_supercloud_failure(benchmark, all_results, all_itemsets, paper_config):
+    db = all_results["SuperCloud"].database
+
+    result = benchmark.pedantic(
+        lambda: mine_keyword_rules(
+            db, "Failed", paper_config, itemsets=all_itemsets["SuperCloud"]
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    keyword_table_artifact(
+        result,
+        "Table VI — job failure rules, SuperCloud trace",
+        "table6_supercloud_failure.txt",
+        max_cause=2,
+        max_char=2,
+    )
+
+    # C1: low GMem util ⇒ failed — weak confidence, real lift
+    c1 = rules_with(
+        result.cause,
+        antecedent_parts=["GMem Util = Bin1"],
+        consequent_parts=["Failed"],
+    )
+    assert c1
+    best = max(c1, key=lambda r: r.lift)
+    assert best.confidence < 0.6, "failure must stay weakly predictable"
+    assert best.lift > 1.5
+
+    # A2: long-running failures
+    a2 = rules_with(
+        result.characteristic,
+        antecedent_parts=["Failed"],
+        consequent_parts=["Runtime = Bin4"],
+    )
+    assert a2
+    assert max(r.confidence for r in a2) > 0.3  # paper: 0.41

@@ -1,0 +1,35 @@
+"""Helpers shared by the benchmark harness (artifact persistence)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a regenerated table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / name).write_text(text, encoding="utf-8")
+
+
+def rules_with(rules, antecedent_parts=(), consequent_parts=()):
+    """Rules whose sides contain all the given item texts."""
+    out = []
+    for rule in rules:
+        ant = {i.render() for i in rule.antecedent}
+        cons = {i.render() for i in rule.consequent}
+        if set(antecedent_parts) <= ant and set(consequent_parts) <= cons:
+            out.append(rule)
+    return out
+
+
+def keyword_table_artifact(result, title, filename, max_cause=6, max_char=3):
+    """Format a keyword rule set as a paper-style table and persist it."""
+    from repro.analysis import format_rule_table
+
+    table = format_rule_table(result, title, max_cause, max_char)
+    text = str(table) + f"\n\n(total kept rules: {len(result)}; {result.report})"
+    write_artifact(filename, text)
+    print("\n" + text)
+    return table

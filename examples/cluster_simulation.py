@@ -1,0 +1,85 @@
+"""Driving the cluster-simulator substrate directly.
+
+The trace generators sit on top of a discrete-event GPU-cluster simulator
+(`repro.cluster`).  This example uses it standalone to show where queue
+delays come from: a heterogeneous cluster whose V100 pool is saturated
+while the T4 pool idles — the mechanism behind the paper's PAI1/PAI2
+queueing rules.
+
+    python examples/cluster_simulation.py
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    BehaviorProfile,
+    ClusterSimulator,
+    ClusterSpec,
+    JobRequest,
+    NodeSpec,
+    TelemetryConfig,
+)
+from repro.viz import box_chart, box_stats
+
+
+def build_workload(n: int = 1200, seed: int = 5) -> list[JobRequest]:
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n):
+        wants_v100 = rng.random() < 0.7  # demand skewed to the small pool
+        jobs.append(
+            JobRequest(
+                job_id=i,
+                user=f"u{int(rng.integers(0, 40)):02d}",
+                submit_time=float(rng.uniform(0, 40_000)),
+                runtime=float(rng.lognormal(6.5, 0.8)),
+                n_gpus=int(rng.integers(1, 4)),
+                n_cpus=int(rng.integers(2, 16)),
+                mem_gb=float(rng.uniform(8, 64)),
+                gpu_type="V100" if wants_v100 else "T4",
+                profile=BehaviorProfile(sm_util_mean=float(rng.uniform(10, 90))),
+            )
+        )
+    return jobs
+
+
+def main() -> None:
+    cluster = ClusterSpec.of(
+        (NodeSpec("v100", "V100", n_gpus=4, n_cpus=64, mem_gb=256), 4),  # 16 GPUs
+        (NodeSpec("t4", "T4", n_gpus=4, n_cpus=64, mem_gb=256), 8),  # 32 GPUs
+    )
+    print(f"cluster: {cluster.gpus_by_type()} GPUs")
+
+    simulator = ClusterSimulator(
+        cluster, telemetry=TelemetryConfig(sample_interval_s=30), seed=1
+    )
+    result = simulator.run(build_workload())
+    table = result.to_table()
+
+    stats = result.scheduler_stats
+    print(
+        f"scheduled {stats.n_scheduled} jobs; mean queue delay "
+        f"{stats.mean_queue_delay:.0f}s; peak queue length {stats.max_queue_length}"
+    )
+
+    # queue delay by requested GPU type — contention made visible
+    delays = table["queue_delay"].values
+    types = table["gpu_type_request"].to_list()
+    per_type = {
+        t: box_stats(delays[np.asarray([x == t for x in types])])
+        for t in ("V100", "T4")
+    }
+    print()
+    print(box_chart(per_type, title="queue delay (s) by requested GPU type"))
+
+    busy = per_type["V100"].median
+    idle = per_type["T4"].median
+    print(
+        f"\nthe saturated V100 pool queues ~{busy:.0f}s at the median while "
+        f"T4 requests start after ~{idle:.0f}s — the shape behind the "
+        "paper's PAI1/PAI2 rules"
+    )
+
+
+if __name__ == "__main__":
+    main()

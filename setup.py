@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (which shell out to ``bdist_wheel``) fail.  Keeping a setup.py
+lets ``pip install -e . --no-build-isolation`` take the legacy
+``setup.py develop`` path, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,44 @@
+"""Analysis workflow and the paper's case studies (Sec. III–IV)."""
+
+from .compare import ContrastTable, SignalContrast, contrast_keyword
+from .drift import RuleChange, RuleDrift, diff_rules
+from .insights import DETECTORS, Insight, extract_insights
+from .casestudies import (
+    CaseStudy,
+    analyze_trace,
+    failure_study,
+    full_case_study,
+    misc_study,
+    underutilization_study,
+)
+from .report import (
+    RuleRow,
+    RuleTable,
+    format_rule_table,
+    select_diverse_rules,
+)
+from .workflow import AnalysisResult, InterpretableAnalysis
+
+__all__ = [
+    "InterpretableAnalysis",
+    "AnalysisResult",
+    "RuleRow",
+    "RuleTable",
+    "format_rule_table",
+    "select_diverse_rules",
+    "CaseStudy",
+    "analyze_trace",
+    "underutilization_study",
+    "failure_study",
+    "misc_study",
+    "full_case_study",
+    "Insight",
+    "extract_insights",
+    "DETECTORS",
+    "ContrastTable",
+    "SignalContrast",
+    "contrast_keyword",
+    "RuleDrift",
+    "RuleChange",
+    "diff_rules",
+]

@@ -1,0 +1,183 @@
+"""The paper's case studies (Sec. IV) as reusable functions.
+
+Each study = generate/accept a trace table → run the workflow with the
+study keyword(s) → curate a paper-style rule table.  The misc study
+(Table VIII) additionally re-runs PAI preprocessing on the model-labelled
+subset, exactly as the paper does ("we have filtered out the jobs whose
+model type label is NaN and applied the analysis on the processed
+dataset").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import MiningConfig
+from ..dataframe import ColumnTable
+from ..traces import TraceDefinition, get_trace
+from ..traces.synthetic.pai import pai_preprocessor
+from .report import RuleTable, format_rule_table
+from .workflow import AnalysisResult, InterpretableAnalysis
+
+__all__ = [
+    "CaseStudy",
+    "analyze_trace",
+    "underutilization_study",
+    "failure_study",
+    "misc_study",
+    "full_case_study",
+]
+
+
+@dataclass(slots=True)
+class CaseStudy:
+    """All rule tables produced for one trace."""
+
+    trace: str
+    analysis: AnalysisResult
+    tables: dict[str, RuleTable] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"=== Case study: {self.trace} ===", self.analysis.summary(), ""]
+        for table in self.tables.values():
+            parts.append(str(table))
+            parts.append("")
+        return "\n".join(parts)
+
+
+def _resolve(trace: str | TraceDefinition) -> TraceDefinition:
+    return trace if isinstance(trace, TraceDefinition) else get_trace(trace)
+
+
+def analyze_trace(
+    trace: str | TraceDefinition,
+    table: ColumnTable | None = None,
+    config: MiningConfig = MiningConfig(),
+    n_jobs: int | None = None,
+) -> AnalysisResult:
+    """Run the full workflow on a trace for its standard keywords."""
+    definition = _resolve(trace)
+    if table is None:
+        table = definition.generate_scaled(n_jobs=n_jobs)
+    workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+    keywords = {
+        name: kw
+        for name, kw in definition.keywords.items()
+        if name in ("underutilization", "failure", "killed")
+    }
+    return workflow.run(table, keywords)
+
+
+def underutilization_study(
+    trace: str | TraceDefinition,
+    table: ColumnTable | None = None,
+    config: MiningConfig = MiningConfig(),
+    analysis: AnalysisResult | None = None,
+) -> tuple[AnalysisResult, RuleTable]:
+    """Sec. IV-B: rules around jobs with 0 % GPU SM utilisation."""
+    definition = _resolve(trace)
+    if analysis is None:
+        analysis = analyze_trace(definition, table=table, config=config)
+    rule_table = format_rule_table(
+        analysis["underutilization"],
+        title=f"GPU underutilization rules — {definition.display_name} trace",
+        max_cause=5,
+        max_characteristic=3,
+    )
+    return analysis, rule_table
+
+
+def failure_study(
+    trace: str | TraceDefinition,
+    table: ColumnTable | None = None,
+    config: MiningConfig = MiningConfig(),
+    analysis: AnalysisResult | None = None,
+) -> tuple[AnalysisResult, RuleTable]:
+    """Sec. IV-C: rules around failed jobs."""
+    definition = _resolve(trace)
+    if analysis is None:
+        analysis = analyze_trace(definition, table=table, config=config)
+    rule_table = format_rule_table(
+        analysis["failure"],
+        title=f"Job failure rules — {definition.display_name} trace",
+        max_cause=6,
+        max_characteristic=2,
+    )
+    return analysis, rule_table
+
+
+def misc_study(
+    trace: str | TraceDefinition,
+    table: ColumnTable | None = None,
+    config: MiningConfig = MiningConfig(),
+) -> dict[str, RuleTable]:
+    """Sec. IV-D: trace-specific rules (Table VIII)."""
+    definition = _resolve(trace)
+    if table is None:
+        table = definition.generate_scaled()
+    tables: dict[str, RuleTable] = {}
+
+    if definition.name == "pai":
+        # queue-behaviour rules, standard preprocessing
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        result = workflow.run(
+            table,
+            {"t4": "GPU Type = T4", "non_t4": "GPU Type = None T4"},
+        )
+        tables["t4_queue"] = format_rule_table(
+            result["t4"], "T4 queueing rules — PAI (cf. PAI1)", 3, 2
+        )
+        tables["non_t4_queue"] = format_rule_table(
+            result["non_t4"], "Non-T4 queueing rules — PAI (cf. PAI2)", 3, 2
+        )
+        # model-specific rules on the labelled subset
+        labelled = table.dropna(["model_name"])
+        model_workflow = InterpretableAnalysis(
+            pai_preprocessor(include_model=True), config
+        )
+        model_result = model_workflow.run(
+            labelled, {"recsys": "Model = RecSys", "nlp": "Model = NLP"}
+        )
+        tables["recsys"] = format_rule_table(
+            model_result["recsys"], "RecSys workload rules — PAI (cf. PAI3)", 2, 2
+        )
+        tables["nlp"] = format_rule_table(
+            model_result["nlp"], "NLP workload rules — PAI (cf. PAI4)", 2, 2
+        )
+    elif definition.name == "supercloud":
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        result = workflow.run(table, {"killed": "Job Killed"})
+        tables["killed"] = format_rule_table(
+            result["killed"], "Job-kill rules — SuperCloud (cf. CIR1)", 3, 2
+        )
+    elif definition.name == "philly":
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        result = workflow.run(table, {"multi_gpu": "Multi-GPU"})
+        tables["multi_gpu"] = format_rule_table(
+            result["multi_gpu"], "Multi-GPU rules — Philly (cf. PHI1)", 3, 3
+        )
+    else:  # pragma: no cover - registry is closed
+        raise ValueError(f"no misc study defined for trace {definition.name!r}")
+    return tables
+
+
+def full_case_study(
+    trace: str | TraceDefinition,
+    table: ColumnTable | None = None,
+    config: MiningConfig = MiningConfig(),
+    n_jobs: int | None = None,
+) -> CaseStudy:
+    """Everything Sec. IV reports for one trace, in one call."""
+    definition = _resolve(trace)
+    if table is None:
+        table = definition.generate_scaled(n_jobs=n_jobs)
+    analysis = analyze_trace(definition, table=table, config=config)
+    study = CaseStudy(trace=definition.display_name, analysis=analysis)
+    _, study.tables["underutilization"] = underutilization_study(
+        definition, config=config, analysis=analysis
+    )
+    _, study.tables["failure"] = failure_study(
+        definition, config=config, analysis=analysis
+    )
+    study.tables.update(misc_study(definition, table=table, config=config))
+    return study

@@ -1,0 +1,105 @@
+"""Cross-trace contrast analysis.
+
+The paper's most interesting observations are *contrasts*: new users fail
+in Philly but frequent users fail in PAI; multi-GPU correlates with
+failure in Philly but has no support in PAI (99 % multi-GPU) or
+SuperCloud (97 % single-GPU).  Given the same keyword mined on several
+traces, :func:`contrast_keyword` lines the antecedent signals up
+side-by-side and flags trace-specific ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.mining import KeywordRuleSet
+
+__all__ = ["SignalContrast", "ContrastTable", "contrast_keyword"]
+
+
+@dataclass(frozen=True, slots=True)
+class SignalContrast:
+    """One antecedent item's strength per trace (best lift, or None)."""
+
+    item: str
+    lift_by_trace: dict[str, float | None]
+
+    @property
+    def present_in(self) -> list[str]:
+        return [t for t, v in self.lift_by_trace.items() if v is not None]
+
+    @property
+    def is_trace_specific(self) -> bool:
+        present = self.present_in
+        return 0 < len(present) < len(self.lift_by_trace)
+
+
+@dataclass(slots=True)
+class ContrastTable:
+    """All antecedent signals for one keyword across traces."""
+
+    keyword: str
+    traces: list[str]
+    signals: list[SignalContrast] = field(default_factory=list)
+
+    def trace_specific(self) -> list[SignalContrast]:
+        return [s for s in self.signals if s.is_trace_specific]
+
+    def universal(self) -> list[SignalContrast]:
+        """Signals present in every trace — the paper's 'generic' findings
+        (e.g. low CPU utilisation and short runtime for idle GPUs)."""
+        return [s for s in self.signals if len(s.present_in) == len(self.traces)]
+
+    def render(self) -> str:
+        width = max((len(s.item) for s in self.signals), default=4)
+        lines = [
+            f"Antecedent signals for keyword {self.keyword!r} across traces",
+            "",
+            "  ".join(["item".ljust(width)] + [t.rjust(12) for t in self.traces]),
+        ]
+        for signal in sorted(
+            self.signals,
+            key=lambda s: -max((v or 0.0) for v in s.lift_by_trace.values()),
+        ):
+            cells = [
+                f"{signal.lift_by_trace[t]:.2f}".rjust(12)
+                if signal.lift_by_trace[t] is not None
+                else "—".rjust(12)
+                for t in self.traces
+            ]
+            lines.append("  ".join([signal.item.ljust(width)] + cells))
+        return "\n".join(lines)
+
+
+def contrast_keyword(results: dict[str, KeywordRuleSet]) -> ContrastTable:
+    """Build the contrast table from per-trace keyword rule sets.
+
+    For each trace, an antecedent item's strength is the best lift among
+    that trace's *cause* rules mentioning it; items never appearing in a
+    trace's rules get None there.
+    """
+    if not results:
+        raise ValueError("contrast_keyword needs at least one trace result")
+    keywords = {r.keyword.render() for r in results.values()}
+    if len(keywords) > 1:
+        raise ValueError(f"mismatched keywords across traces: {sorted(keywords)}")
+
+    traces = list(results)
+    best: dict[str, dict[str, float]] = {}
+    for trace, result in results.items():
+        for rule in result.cause:
+            for item in rule.antecedent:
+                text = item.render()
+                per_trace = best.setdefault(text, {})
+                if rule.lift > per_trace.get(trace, 0.0):
+                    per_trace[trace] = rule.lift
+
+    table = ContrastTable(keyword=next(iter(keywords)), traces=traces)
+    for item_text in sorted(best):
+        table.signals.append(
+            SignalContrast(
+                item=item_text,
+                lift_by_trace={t: best[item_text].get(t) for t in traces},
+            )
+        )
+    return table

@@ -1,0 +1,115 @@
+"""Rule drift: comparing rule sets mined at different times.
+
+The paper's introduction motivates the whole workflow with change over
+time: "due to advances in novel ML models and new GPU architectures, we
+need to continuously update our understanding of the job characteristics"
+— and its Sec. VI points to streaming mining for exactly this.  Given two
+rule sets over the same item vocabulary (e.g. last month's window vs this
+month's), :func:`diff_rules` reports what appeared, what disappeared and
+whose strength moved, keyed by the rule's (antecedent, consequent)
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.rules import AssociationRule
+
+__all__ = ["RuleChange", "RuleDrift", "diff_rules"]
+
+_Key = tuple[frozenset[int], frozenset[int]]
+
+
+def _key(rule: AssociationRule) -> _Key:
+    return (rule.antecedent_ids, rule.consequent_ids)
+
+
+@dataclass(frozen=True, slots=True)
+class RuleChange:
+    """One rule present in both sets, with its metric movement."""
+
+    before: AssociationRule
+    after: AssociationRule
+
+    @property
+    def lift_delta(self) -> float:
+        return self.after.lift - self.before.lift
+
+    @property
+    def confidence_delta(self) -> float:
+        return self.after.confidence - self.before.confidence
+
+    def __str__(self) -> str:
+        return (
+            f"{self.after!s}  [lift {self.before.lift:.2f} → {self.after.lift:.2f}]"
+        )
+
+
+@dataclass(slots=True)
+class RuleDrift:
+    """The full diff between two rule sets."""
+
+    appeared: list[AssociationRule] = field(default_factory=list)
+    disappeared: list[AssociationRule] = field(default_factory=list)
+    changed: list[RuleChange] = field(default_factory=list)
+
+    @property
+    def is_stable(self) -> bool:
+        return not self.appeared and not self.disappeared
+
+    def strengthened(self, min_delta: float = 0.5) -> list[RuleChange]:
+        """Persisting rules whose lift rose by at least *min_delta*."""
+        return sorted(
+            (c for c in self.changed if c.lift_delta >= min_delta),
+            key=lambda c: -c.lift_delta,
+        )
+
+    def weakened(self, min_delta: float = 0.5) -> list[RuleChange]:
+        """Persisting rules whose lift fell by at least *min_delta*."""
+        return sorted(
+            (c for c in self.changed if c.lift_delta <= -min_delta),
+            key=lambda c: c.lift_delta,
+        )
+
+    def render(self, limit: int = 5) -> str:
+        lines = [
+            f"rule drift: +{len(self.appeared)} appeared, "
+            f"-{len(self.disappeared)} disappeared, "
+            f"{len(self.changed)} persisted",
+        ]
+        for title, rules in (
+            ("appeared", self.appeared),
+            ("disappeared", self.disappeared),
+        ):
+            for rule in sorted(rules, key=lambda r: -r.lift)[:limit]:
+                lines.append(f"  {title}: {rule}")
+        for change in self.strengthened()[:limit]:
+            lines.append(f"  strengthened: {change}")
+        for change in self.weakened()[:limit]:
+            lines.append(f"  weakened: {change}")
+        return "\n".join(lines)
+
+
+def diff_rules(
+    before: Sequence[AssociationRule], after: Sequence[AssociationRule]
+) -> RuleDrift:
+    """Diff two rule lists by (antecedent, consequent) identity.
+
+    Both lists must come from the same vocabulary (same item ids); this
+    holds whenever both windows were encoded by the same preprocessor,
+    e.g. via :class:`~repro.streaming.SlidingWindowMiner` snapshots.
+    """
+    before_by_key = {_key(r): r for r in before}
+    after_by_key = {_key(r): r for r in after}
+    drift = RuleDrift()
+    for key, rule in after_by_key.items():
+        if key in before_by_key:
+            drift.changed.append(RuleChange(before=before_by_key[key], after=rule))
+        else:
+            drift.appeared.append(rule)
+    for key, rule in before_by_key.items():
+        if key not in after_by_key:
+            drift.disappeared.append(rule)
+    return drift

@@ -1,0 +1,153 @@
+"""Standalone HTML report for a case study.
+
+Produces a single self-contained HTML file (no external assets, inline
+CSS/SVG) with the trace overview, the Fig. 4/5-style distribution charts
+and the C/A rule tables — the artefact an operator would circulate after
+running the workflow.  Charts are plain SVG bars built here; no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import Counter
+
+from ..dataframe import ColumnTable
+from ..viz import empirical_cdf
+from .casestudies import CaseStudy
+from .insights import Insight
+from .report import RuleTable
+
+__all__ = ["render_html_report", "svg_bar_chart"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { border-bottom: 3px solid #4361ee; padding-bottom: .3rem; }
+h2 { color: #3a0ca3; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: 1rem 0; }
+th, td { border: 1px solid #d0d0e0; padding: .4rem .6rem;
+         text-align: left; font-size: .9rem; }
+th { background: #eef0fb; }
+tr:nth-child(even) { background: #f8f9ff; }
+.metric { font-variant-numeric: tabular-nums; text-align: right; }
+.insight { background: #f0f7f4; border-left: 4px solid #2d6a4f;
+           padding: .6rem 1rem; margin: .8rem 0; }
+.insight b { color: #2d6a4f; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .85rem; color: #555; }
+"""
+
+
+def svg_bar_chart(
+    data: dict[str, float],
+    width: int = 560,
+    bar_height: int = 22,
+    fmt: str = "{:.1%}",
+) -> str:
+    """Horizontal SVG bar chart of label → value (self-contained markup)."""
+    if not data:
+        return "<svg/>"
+    label_w = 150
+    gap = 6
+    peak = max(data.values()) or 1.0
+    height = len(data) * (bar_height + gap)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" role="img">'
+    ]
+    for i, (label, value) in enumerate(data.items()):
+        y = i * (bar_height + gap)
+        bar_w = max(1, int((width - label_w - 90) * value / peak))
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_height * 0.72}" '
+            f'text-anchor="end" font-size="12">{html.escape(str(label))}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_w}" y="{y}" width="{bar_w}" '
+            f'height="{bar_height}" fill="#4361ee" rx="3"/>'
+        )
+        parts.append(
+            f'<text x="{label_w + bar_w + 6}" y="{y + bar_height * 0.72}" '
+            f'font-size="12">{html.escape(fmt.format(value))}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _rule_table_html(table: RuleTable) -> str:
+    rows = ["<table><tr><th></th><th>Antecedent</th><th>Consequent</th>"
+            "<th>Supp.</th><th>Conf.</th><th>Lift</th></tr>"]
+    for row in table.rows:
+        label, ant, cons, supp, conf, lift = row.render()
+        rows.append(
+            "<tr>"
+            f"<td><b>{html.escape(label)}</b></td>"
+            f"<td>{html.escape(ant)}</td><td>{html.escape(cons)}</td>"
+            f'<td class="metric">{supp}</td>'
+            f'<td class="metric">{conf}</td>'
+            f'<td class="metric">{lift}</td>'
+            "</tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _distribution_figures(table: ColumnTable) -> str:
+    parts = []
+    if "sm_util" in table:
+        cdf = empirical_cdf(table["sm_util"].values)
+        points = {f"≤{p}%": cdf.at(float(p)) for p in (0, 25, 50, 75, 100)}
+        parts.append(
+            "<figure>"
+            + svg_bar_chart(points)
+            + "<figcaption>GPU SM-utilisation CDF (cf. paper Fig. 4); "
+            f"{cdf.share_at_most(0):.1%} of jobs never touch the GPU."
+            "</figcaption></figure>"
+        )
+    if "status" in table:
+        counts = Counter(table["status"].to_list())
+        shares = {k: v / len(table) for k, v in sorted(counts.items())}
+        parts.append(
+            "<figure>"
+            + svg_bar_chart(shares)
+            + "<figcaption>Job exit status (cf. paper Fig. 5).</figcaption>"
+            "</figure>"
+        )
+    return "".join(parts)
+
+
+def render_html_report(
+    study: CaseStudy,
+    table: ColumnTable | None = None,
+    insights: dict[str, list[Insight]] | None = None,
+) -> str:
+    """Render a full case study as one self-contained HTML document.
+
+    *table* (the raw job table) adds the distribution figures; *insights*
+    maps study names to extracted :class:`Insight` lists.
+    """
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>Trace analysis — {html.escape(study.trace)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Interpretable trace analysis — {html.escape(study.trace)}</h1>",
+        "<p>Association-rule case study (min-support 5%, max itemset "
+        "length 5, min-lift 1.5, C<sub>lift</sub>=C<sub>supp</sub>=1.5).</p>",
+        f"<pre>{html.escape(study.analysis.summary())}</pre>",
+    ]
+    if table is not None:
+        parts.append("<h2>Distributions</h2>")
+        parts.append(_distribution_figures(table))
+    for name, rule_table in study.tables.items():
+        parts.append(f"<h2>{html.escape(rule_table.title)}</h2>")
+        parts.append(_rule_table_html(rule_table))
+        if insights and name in insights:
+            for insight in insights[name]:
+                parts.append(
+                    '<div class="insight">'
+                    f"<b>{html.escape(insight.title)}</b><br>"
+                    f"{html.escape(insight.recommendation)}</div>"
+                )
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -1,0 +1,264 @@
+"""Operational insight extraction — the paper's "Takeaways", automated.
+
+Each Sec. IV case study closes with a takeaway box translating rules into
+operator guidance.  The translations follow recognisable patterns, which
+this module encodes as detectors over a :class:`KeywordRuleSet`:
+
+=========================  ====================================================
+detector                   paper takeaway it automates
+=========================  ====================================================
+submission_predictability  "a prediction model can identify [target] at the
+                           job submission stage" / "a simple rule-based
+                           classifier will suffice" (strong cause rules from
+                           submission-time features)
+debug_tier                 "build a lower-tier system for allocation of
+                           debugging and exploratory jobs" (idle GPUs with
+                           low CPU + short runtime)
+heavy_user_support         "system operators can focus on the high failure
+                           rate of users and provide corresponding support"
+late_failures              "more attention as more compute cycles get wasted"
+                           (failures with top-quartile runtimes)
+new_user_onboarding        new users over-represented in kills/failures
+gang_screening             "set up a small number of nodes dedicated to
+                           screening before … gang scheduling" (multi-GPU ⇒
+                           failure)
+weak_predictability        "more complex models such as neural networks will
+                           be needed" (no strong cause rules)
+=========================  ====================================================
+
+Detectors are evidence-carrying: every emitted :class:`Insight` cites the
+rules that triggered it, preserving the interpretability contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.mining import KeywordRuleSet
+from ..core.rules import AssociationRule
+
+__all__ = ["Insight", "extract_insights", "DETECTORS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Insight:
+    """One operational recommendation plus the rules supporting it."""
+
+    code: str
+    title: str
+    recommendation: str
+    evidence: tuple[AssociationRule, ...]
+
+    def render(self) -> str:
+        lines = [f"[{self.code}] {self.title}", f"  → {self.recommendation}"]
+        for rule in self.evidence[:3]:
+            lines.append(f"  evidence: {rule}")
+        return "\n".join(lines)
+
+
+def _items_of(side: Iterable) -> set[str]:
+    return {i.render() for i in side}
+
+
+def _rules_where(
+    rules: Sequence[AssociationRule],
+    antecedent_any: set[str] | None = None,
+    antecedent_all: set[str] | None = None,
+    consequent_any: set[str] | None = None,
+    min_confidence: float = 0.0,
+    min_lift: float = 0.0,
+) -> list[AssociationRule]:
+    out = []
+    for rule in rules:
+        ant = _items_of(rule.antecedent)
+        cons = _items_of(rule.consequent)
+        if antecedent_any is not None and not (ant & antecedent_any):
+            continue
+        if antecedent_all is not None and not (antecedent_all <= ant):
+            continue
+        if consequent_any is not None and not (cons & consequent_any):
+            continue
+        if rule.confidence < min_confidence or rule.lift < min_lift:
+            continue
+        out.append(rule)
+    return out
+
+
+#: item texts that are knowable before a job runs, across all three schemas
+SUBMISSION_ITEM_FEATURES = {
+    "GPU Request", "CPU Request", "Mem Request", "GPU Type", "Queue",
+}
+SUBMISSION_FLAG_ITEMS = {
+    "Freq User", "Moderate User", "Rare User", "New User",
+    "Freq Group", "Moderate Group", "Rare Group",
+    "Tensorflow", "PyTorch", "Other Framework",
+    "Multiple Tasks", "Multi-GPU",
+}
+
+
+def _is_submission_item(text: str) -> bool:
+    if text in SUBMISSION_FLAG_ITEMS:
+        return True
+    feature = text.split(" = ", 1)[0]
+    return feature in SUBMISSION_ITEM_FEATURES
+
+
+def detect_submission_predictability(result: KeywordRuleSet) -> Insight | None:
+    strong = [
+        r
+        for r in result.cause
+        if r.confidence >= 0.75
+        and all(_is_submission_item(i.render()) for i in r.antecedent)
+    ]
+    if not strong:
+        return None
+    target = result.keyword.render()
+    return Insight(
+        code="submission-predictability",
+        title=f"'{target}' is predictable at the submission stage",
+        recommendation=(
+            "multiple high-confidence rules use only submission-time "
+            "attributes; deploy a simple rule-based classifier at submit "
+            "time to flag these jobs before they are scheduled"
+        ),
+        evidence=tuple(sorted(strong, key=lambda r: -r.confidence)[:5]),
+    )
+
+
+def detect_weak_predictability(result: KeywordRuleSet) -> Insight | None:
+    if not result.cause:
+        return None
+    best = max(r.confidence for r in result.cause)
+    if best >= 0.5:
+        return None
+    target = result.keyword.render()
+    return Insight(
+        code="weak-predictability",
+        title=f"'{target}' has no strong predictor among mined rules",
+        recommendation=(
+            f"best cause-rule confidence is {best:.2f}; rule/tree models "
+            "will under-perform — consider richer models (the paper: "
+            "'more complex models such as neural networks will be needed')"
+        ),
+        evidence=tuple(sorted(result.cause, key=lambda r: -r.confidence)[:3]),
+    )
+
+
+def detect_debug_tier(result: KeywordRuleSet) -> Insight | None:
+    if result.keyword.render() != "SM Util = 0%":
+        return None
+    hits = _rules_where(
+        result.cause,
+        antecedent_any={"CPU Util = Bin1", "Runtime = Bin1"},
+        min_lift=1.5,
+    )
+    if not hits:
+        return None
+    return Insight(
+        code="debug-tier",
+        title="idle GPUs trace back to debug/exploratory runs",
+        recommendation=(
+            "low CPU utilisation and short runtimes co-occur with 0% SM "
+            "utilisation; route debug jobs to a lower-tier pool of cheaper "
+            "GPUs and enable sharing (MPS/MIG) on it"
+        ),
+        evidence=tuple(hits[:3]),
+    )
+
+
+def detect_heavy_user_support(result: KeywordRuleSet) -> Insight | None:
+    hits = _rules_where(
+        result.cause,
+        antecedent_any={"Freq User", "Freq Group"},
+        min_confidence=0.5,
+    )
+    if not hits:
+        return None
+    return Insight(
+        code="heavy-user-support",
+        title="specific heavy users/groups drive the keyword events",
+        recommendation=(
+            "failure mass concentrates in identifiable frequent users/job "
+            "groups; targeted operator support for them removes a large "
+            "share of the events"
+        ),
+        evidence=tuple(hits[:3]),
+    )
+
+
+def detect_late_failures(result: KeywordRuleSet) -> Insight | None:
+    hits = _rules_where(
+        result.characteristic,
+        consequent_any={"Runtime = Bin4"},
+        min_lift=1.5,
+    )
+    if not hits:
+        return None
+    return Insight(
+        code="late-failures",
+        title="a significant share of failures happen after long runtimes",
+        recommendation=(
+            "late failures waste the most compute; prioritise checkpointing "
+            "and investigate node failures / time-limit kills for these jobs"
+        ),
+        evidence=tuple(hits[:3]),
+    )
+
+
+def detect_new_user_onboarding(result: KeywordRuleSet) -> Insight | None:
+    hits = _rules_where(
+        result.cause, antecedent_any={"New User"}, min_lift=1.5
+    )
+    if not hits:
+        return None
+    target = result.keyword.render()
+    return Insight(
+        code="new-user-onboarding",
+        title=f"new users are over-represented in '{target}' events",
+        recommendation=(
+            "strengthen onboarding (templates, quotas, sandbox partitions) "
+            "to cut new-user losses"
+        ),
+        evidence=tuple(hits[:3]),
+    )
+
+
+def detect_gang_screening(result: KeywordRuleSet) -> Insight | None:
+    if result.keyword.render() != "Failed":
+        return None
+    hits = _rules_where(
+        result.cause, antecedent_any={"Multi-GPU"}, min_lift=1.5
+    )
+    if not hits:
+        return None
+    return Insight(
+        code="gang-screening",
+        title="distributed (multi-GPU) jobs fail disproportionately",
+        recommendation=(
+            "screen gang jobs on a small dedicated node set before "
+            "submitting the full GPU request to the scheduler"
+        ),
+        evidence=tuple(hits[:3]),
+    )
+
+
+DETECTORS: tuple[Callable[[KeywordRuleSet], Insight | None], ...] = (
+    detect_submission_predictability,
+    detect_weak_predictability,
+    detect_debug_tier,
+    detect_heavy_user_support,
+    detect_late_failures,
+    detect_new_user_onboarding,
+    detect_gang_screening,
+)
+
+
+def extract_insights(result: KeywordRuleSet) -> list[Insight]:
+    """Run every detector over one keyword rule set."""
+    out = []
+    for detector in DETECTORS:
+        insight = detector(result)
+        if insight is not None:
+            out.append(insight)
+    return out

@@ -1,0 +1,211 @@
+"""Command-line interface: the workflow for operators without Python.
+
+Subcommands::
+
+    python -m repro traces
+        list the available trace generators
+
+    python -m repro generate --trace pai --n-jobs 5000 --output pai.csv
+        generate a synthetic trace and save it as CSV
+
+    python -m repro analyze --trace supercloud --keyword "Failed" \
+            [--n-jobs 5000 | --input trace.csv] [--min-support 0.05] …
+        run the full workflow for one keyword and print the rule table
+
+    python -m repro casestudy --trace philly --n-jobs 5000
+        run every Sec. IV study for one trace
+
+All output is plain text (the paper-style tables); exit status is 0 on
+success, 2 on argument errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis import InterpretableAnalysis, format_rule_table, full_case_study
+from .core import MiningConfig
+from .dataframe import ColumnTable
+from .traces import get_trace, list_traces
+from .traces.loader import load_trace, save_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interpretable GPU-cluster trace analysis via association rules",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("traces", help="list available trace generators")
+
+    gen = sub.add_parser("generate", help="generate a synthetic trace CSV")
+    gen.add_argument("--trace", required=True, choices=list_traces())
+    gen.add_argument("--n-jobs", type=int, default=10_000)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("--output", required=True, help="destination CSV path")
+
+    ana = sub.add_parser("analyze", help="mine keyword rules from a trace")
+    ana.add_argument("--trace", required=True, choices=list_traces())
+    ana.add_argument("--keyword", required=True,
+                     help='item text, e.g. "Failed" or "SM Util = 0%%"')
+    source = ana.add_mutually_exclusive_group()
+    source.add_argument("--n-jobs", type=int, default=None,
+                        help="generate this many jobs (default preset)")
+    source.add_argument("--input", default=None, help="analyse an existing trace CSV")
+    ana.add_argument("--min-support", type=float, default=0.05)
+    ana.add_argument("--min-lift", type=float, default=1.5)
+    ana.add_argument("--max-len", type=int, default=5)
+    ana.add_argument("--c-lift", type=float, default=1.5)
+    ana.add_argument("--c-supp", type=float, default=1.5)
+    ana.add_argument("--algorithm", default="fpgrowth",
+                     choices=("fpgrowth", "apriori", "eclat"))
+    ana.add_argument("--max-cause", type=int, default=6)
+    ana.add_argument("--max-characteristic", type=int, default=3)
+
+    case = sub.add_parser("casestudy", help="run all Sec. IV studies for a trace")
+    case.add_argument("--trace", required=True, choices=list_traces())
+    case.add_argument("--n-jobs", type=int, default=None)
+
+    stats = sub.add_parser("stats", help="descriptive characterisation of a trace")
+    stats.add_argument("--trace", required=True, choices=list_traces())
+    stats_source = stats.add_mutually_exclusive_group()
+    stats_source.add_argument("--n-jobs", type=int, default=None)
+    stats_source.add_argument("--input", default=None)
+
+    ins = sub.add_parser(
+        "insights", help="automated operational takeaways for a keyword"
+    )
+    ins.add_argument("--trace", required=True, choices=list_traces())
+    ins.add_argument("--keyword", required=True)
+    ins_source = ins.add_mutually_exclusive_group()
+    ins_source.add_argument("--n-jobs", type=int, default=None)
+    ins_source.add_argument("--input", default=None)
+
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> MiningConfig:
+    return MiningConfig(
+        min_support=args.min_support,
+        max_len=args.max_len,
+        min_lift=args.min_lift,
+        algorithm=args.algorithm,
+        c_lift=args.c_lift,
+        c_supp=args.c_supp,
+    )
+
+
+def _load_or_generate(args: argparse.Namespace) -> ColumnTable:
+    definition = get_trace(args.trace)
+    if getattr(args, "input", None):
+        return load_trace(args.input, trace=definition.name)
+    return definition.generate_scaled(n_jobs=args.n_jobs)
+
+
+def cmd_traces(_: argparse.Namespace) -> str:
+    lines = []
+    for name in list_traces():
+        d = get_trace(name)
+        lines.append(
+            f"{name:<12} {d.display_name} ({d.operator}) — paper scale: "
+            f"{d.paper_jobs} jobs, {d.paper_users} users, {d.paper_gpus} GPUs, "
+            f"{d.paper_duration}; keywords: {', '.join(sorted(d.keywords.values()))}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_generate(args: argparse.Namespace) -> str:
+    definition = get_trace(args.trace)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    table = definition.generate_scaled(n_jobs=args.n_jobs, **overrides)
+    save_trace(table, args.output)
+    return (
+        f"wrote {len(table)} {definition.display_name} jobs "
+        f"({table.n_columns} columns) to {args.output}"
+    )
+
+
+def cmd_analyze(args: argparse.Namespace) -> str:
+    definition = get_trace(args.trace)
+    table = _load_or_generate(args)
+    config = _config_from(args)
+    workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+    result = workflow.run(table, {"query": args.keyword})
+    rules = result["query"]
+    rule_table = format_rule_table(
+        rules,
+        title=(
+            f"Rules for keyword {args.keyword!r} — "
+            f"{definition.display_name} ({len(table)} jobs)"
+        ),
+        max_cause=args.max_cause,
+        max_characteristic=args.max_characteristic,
+    )
+    footer = (
+        f"\n{len(rules)} rules kept of {rules.n_rules_before_pruning} "
+        f"generated ({rules.report})"
+    )
+    return str(rule_table) + footer
+
+
+def cmd_casestudy(args: argparse.Namespace) -> str:
+    study = full_case_study(args.trace, n_jobs=args.n_jobs)
+    return study.render()
+
+
+def cmd_stats(args: argparse.Namespace) -> str:
+    from .traces.stats import characterize
+
+    definition = get_trace(args.trace)
+    table = _load_or_generate(args)
+    return (
+        f"{definition.display_name} trace characterisation\n"
+        + characterize(table).render()
+    )
+
+
+def cmd_insights(args: argparse.Namespace) -> str:
+    from .analysis import extract_insights
+    from .core import mine_keyword_rules
+
+    definition = get_trace(args.trace)
+    table = _load_or_generate(args)
+    db = definition.make_preprocessor().run(table).database
+    result = mine_keyword_rules(db, args.keyword, MiningConfig())
+    insights = extract_insights(result)
+    if not insights:
+        return f"no insights detected for keyword {args.keyword!r}"
+    return "\n\n".join(insight.render() for insight in insights)
+
+
+_COMMANDS = {
+    "traces": cmd_traces,
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "casestudy": cmd_casestudy,
+    "stats": cmd_stats,
+    "insights": cmd_insights,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        output = _COMMANDS[args.command](args)
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Job model for the GPU-cluster simulator substrate.
+
+The paper's traces are the *output* of production clusters plus their
+monitoring stacks (Slurm, nvidia-smi, Ganglia).  We cannot replay the
+proprietary inputs, so the substrate models the path those logs took:
+
+    workload (JobRequest) → scheduler → execution + telemetry → JobRecord
+
+A :class:`JobRequest` is what the user submits; a :class:`JobRecord` is
+the merged scheduler + node-level log line the analysis pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+__all__ = ["JobStatus", "BehaviorProfile", "JobRequest", "JobRecord"]
+
+
+class JobStatus(str, Enum):
+    """Terminal state of a job, following the traces' labels (Fig. 5)."""
+
+    COMPLETED = "completed"
+    FAILED = "failed"
+    KILLED = "killed"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class BehaviorProfile:
+    """Latent execution behaviour of a job, driving its telemetry.
+
+    These parameters are what a real job's code implies; the telemetry
+    model turns them into the sampled metrics the monitoring system would
+    record.  ``sm_util_mean`` in [0, 100]; ``burstiness`` in [0, 1] where
+    1 means activity concentrated in short spikes (the inference pattern:
+    "a job could keep a GPU memory occupied but does not use the compute
+    cores", Sec. IV-B).
+    """
+
+    sm_util_mean: float = 50.0
+    sm_util_jitter: float = 10.0
+    burstiness: float = 0.0
+    gmem_util_mean: float = 40.0
+    gmem_used_gb: float = 8.0
+    cpu_util_mean: float = 50.0
+    idle_power_watts: float = 55.0
+    peak_power_watts: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sm_util_mean <= 100.0:
+            raise ValueError("sm_util_mean must be in [0, 100]")
+        if not 0.0 <= self.burstiness <= 1.0:
+            raise ValueError("burstiness must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class JobRequest:
+    """A job submission as the scheduler sees it."""
+
+    job_id: int
+    user: str
+    submit_time: float
+    runtime: float  # planned execution duration, seconds
+    n_gpus: int = 1
+    n_cpus: int = 1
+    mem_gb: float = 16.0
+    gpu_type: str | None = None  # None → "any type" (PAI's misc assignment)
+    group: str | None = None
+    framework: str | None = None
+    model: str | None = None
+    status: JobStatus = JobStatus.COMPLETED
+    profile: BehaviorProfile = field(default_factory=BehaviorProfile)
+    #: trace-specific extras carried through to the record (e.g. retries)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.runtime < 0:
+            raise ValueError("runtime must be >= 0")
+        if self.n_gpus < 0 or self.n_cpus < 0:
+            raise ValueError("resource requests must be >= 0")
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """A finished job: request fields + scheduling outcome + telemetry.
+
+    This is the unit the paper calls a *transaction* — "each transaction
+    corresponds to a unique job record in the datacenter job trace".
+    """
+
+    request: JobRequest
+    start_time: float
+    end_time: float
+    node: str | None
+    assigned_gpu_type: str | None
+    telemetry: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def queue_delay(self) -> float:
+        return self.start_time - self.request.submit_time
+
+    @property
+    def status(self) -> JobStatus:
+        return self.request.status
+
+    def as_row(self) -> dict[str, Any]:
+        """Flatten into one trace row (scheduler + node-level merged)."""
+        req = self.request
+        row: dict[str, Any] = {
+            "job_id": req.job_id,
+            "user": req.user,
+            "group": req.group,
+            "submit_time": req.submit_time,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "queue_delay": self.queue_delay,
+            "runtime": self.end_time - self.start_time,
+            "n_gpus": req.n_gpus,
+            "n_cpus": req.n_cpus,
+            "mem_request_gb": req.mem_gb,
+            "gpu_type_request": req.gpu_type,
+            "gpu_type": self.assigned_gpu_type,
+            "framework": req.framework,
+            "model": req.model,
+            "status": req.status.value,
+            "node": self.node,
+        }
+        row.update(self.telemetry)
+        row.update(req.extras)
+        return row

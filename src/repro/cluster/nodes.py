@@ -1,0 +1,103 @@
+"""Cluster hardware model: nodes, GPU pools, capacity accounting.
+
+Heterogeneity matters to the reproduction: the PAI queueing rules
+(Table VIII, PAI1/PAI2) hinge on the T4 : non-T4 capacity ratio (1 : 3.5),
+and Philly's "GPU 24GB Mem" item comes from its two node flavours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeSpec", "Node", "ClusterSpec", "build_nodes"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Immutable description of one node flavour."""
+
+    name: str
+    gpu_type: str
+    n_gpus: int
+    n_cpus: int
+    mem_gb: float
+    gpu_mem_gb: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 0 or self.n_cpus <= 0 or self.mem_gb <= 0:
+            raise ValueError(f"invalid capacities in NodeSpec {self.name!r}")
+
+
+@dataclass(slots=True)
+class Node:
+    """A node with mutable free-capacity counters."""
+
+    spec: NodeSpec
+    index: int
+    free_gpus: int = field(init=False)
+    free_cpus: int = field(init=False)
+    free_mem_gb: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.free_gpus = self.spec.n_gpus
+        self.free_cpus = self.spec.n_cpus
+        self.free_mem_gb = self.spec.mem_gb
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name}-{self.index}"
+
+    def fits(self, n_gpus: int, n_cpus: int, mem_gb: float) -> bool:
+        return (
+            self.free_gpus >= n_gpus
+            and self.free_cpus >= n_cpus
+            and self.free_mem_gb >= mem_gb
+        )
+
+    def allocate(self, n_gpus: int, n_cpus: int, mem_gb: float) -> None:
+        if not self.fits(n_gpus, n_cpus, mem_gb):
+            raise RuntimeError(f"allocation exceeds free capacity on {self.name}")
+        self.free_gpus -= n_gpus
+        self.free_cpus -= n_cpus
+        self.free_mem_gb -= mem_gb
+
+    def release(self, n_gpus: int, n_cpus: int, mem_gb: float) -> None:
+        self.free_gpus += n_gpus
+        self.free_cpus += n_cpus
+        self.free_mem_gb += mem_gb
+        if (
+            self.free_gpus > self.spec.n_gpus
+            or self.free_cpus > self.spec.n_cpus
+            or self.free_mem_gb > self.spec.mem_gb + 1e-9
+        ):
+            raise RuntimeError(f"release exceeds capacity on {self.name}")
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """A cluster: how many nodes of each flavour."""
+
+    counts: tuple[tuple[NodeSpec, int], ...]
+
+    @classmethod
+    def of(cls, *pairs: tuple[NodeSpec, int]) -> "ClusterSpec":
+        return cls(tuple(pairs))
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(spec.n_gpus * n for spec, n in self.counts)
+
+    def gpus_by_type(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for spec, n in self.counts:
+            out[spec.gpu_type] = out.get(spec.gpu_type, 0) + spec.n_gpus * n
+        return out
+
+
+def build_nodes(spec: ClusterSpec) -> list[Node]:
+    """Materialise the node list of a cluster spec."""
+    nodes: list[Node] = []
+    for node_spec, count in spec.counts:
+        for i in range(count):
+            nodes.append(Node(node_spec, index=i))
+    return nodes

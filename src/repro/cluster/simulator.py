@@ -1,0 +1,90 @@
+"""End-to-end cluster simulation: workload → scheduler → telemetry → records.
+
+:class:`ClusterSimulator` is the substrate's facade.  Given a cluster
+spec and a workload of :class:`JobRequest` objects, it
+
+1. schedules every job (queue delays, placements, gang allocation);
+2. synthesises per-job telemetry from the job's behaviour profile;
+3. merges both into :class:`JobRecord` rows — the equivalent of joining
+   scheduler logs with node-level monitoring, the step the paper performs
+   on real traces (Sec. III-E, "merge all the features into a single file").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dataframe import ColumnTable
+from .failures import FailureModel, apply_time_limit, inject_node_failures
+from .job import JobRecord, JobRequest
+from .nodes import ClusterSpec, build_nodes
+from .scheduler import FCFSScheduler, SchedulerStats
+from .telemetry import GPUTelemetryModel, TelemetryConfig
+
+__all__ = ["SimulationResult", "ClusterSimulator"]
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Records plus scheduling aggregates for one simulated trace."""
+
+    records: list[JobRecord]
+    scheduler_stats: SchedulerStats
+
+    def to_table(self) -> ColumnTable:
+        """Flatten all job records into a single merged trace table."""
+        return ColumnTable.from_records([r.as_row() for r in self.records])
+
+
+class ClusterSimulator:
+    """Drives one full simulation run."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        telemetry: TelemetryConfig = TelemetryConfig(),
+        seed: int = 0,
+        strict_fcfs: bool = False,
+        policy: str = "fcfs",
+        failures: FailureModel = FailureModel(),
+    ):
+        self.cluster = cluster
+        self.telemetry_config = telemetry
+        self.seed = seed
+        self.strict_fcfs = strict_fcfs
+        self.policy = policy
+        self.failures = failures
+
+    def run(self, workload: list[JobRequest]) -> SimulationResult:
+        """Simulate *workload* on the cluster and emit merged records."""
+        if self.failures.time_limit_s is not None:
+            apply_time_limit(workload, self.failures.time_limit_s)
+
+        nodes = build_nodes(self.cluster)
+        scheduler = FCFSScheduler(
+            nodes, strict_fcfs=self.strict_fcfs, policy=self.policy
+        )
+        placements, stats = scheduler.run(workload)
+
+        if self.failures.node_mtbf_s is not None:
+            inject_node_failures(placements, self.failures)
+
+        telemetry = GPUTelemetryModel(self.telemetry_config, seed=self.seed)
+        records: list[JobRecord] = []
+        for placement in placements:
+            req = placement.request
+            # telemetry covers the time the job actually ran (truncations
+            # from node failures shorten the sampled window)
+            observed = max(placement.end_time - placement.start_time, 0.0)
+            summary = telemetry.summarize(req.profile, observed)
+            records.append(
+                JobRecord(
+                    request=req,
+                    start_time=placement.start_time,
+                    end_time=placement.end_time,
+                    node=placement.node_name,
+                    assigned_gpu_type=placement.gpu_type,
+                    telemetry=summary.as_dict(),
+                )
+            )
+        return SimulationResult(records=records, scheduler_stats=stats)

@@ -1,0 +1,141 @@
+"""GPU telemetry synthesis: behaviour profiles → sampled monitoring metrics.
+
+SuperCloud records SM utilisation, GPU memory(-bandwidth) utilisation,
+memory used and power at 100 ms granularity; Philly samples at 1 minute
+(Sec. II).  The telemetry model generates a per-job utilisation time
+series from the job's :class:`BehaviorProfile` and reduces it to the
+summary features the traces expose (mean / variance / min / max), plus a
+power series derived from SM activity.
+
+Series are generated with numpy vectorised draws; the number of samples
+per job is capped so an 8-month trace stays tractable while the summary
+statistics remain faithful (sampling a stationary process more densely
+does not change its moments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .job import BehaviorProfile
+
+__all__ = ["TelemetryConfig", "TelemetrySummary", "GPUTelemetryModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """Sampling parameters of the monitoring system."""
+
+    sample_interval_s: float = 60.0
+    max_samples_per_job: int = 256
+    min_samples_per_job: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be > 0")
+        if self.min_samples_per_job < 1:
+            raise ValueError("min_samples_per_job must be >= 1")
+        if self.max_samples_per_job < self.min_samples_per_job:
+            raise ValueError("max_samples_per_job must be >= min_samples_per_job")
+
+    def n_samples(self, runtime_s: float) -> int:
+        """Number of telemetry samples recorded for a job of this length."""
+        raw = int(runtime_s / self.sample_interval_s) + 1
+        return int(np.clip(raw, self.min_samples_per_job, self.max_samples_per_job))
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetrySummary:
+    """Per-job reduction of the telemetry series (trace feature set)."""
+
+    sm_util_mean: float
+    sm_util_var: float
+    sm_util_min: float
+    sm_util_max: float
+    gmem_util_mean: float
+    gmem_util_var: float
+    gmem_used_gb: float
+    gpu_power_mean: float
+    cpu_util_mean: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sm_util": self.sm_util_mean,
+            "sm_util_var": self.sm_util_var,
+            "sm_util_min": self.sm_util_min,
+            "sm_util_max": self.sm_util_max,
+            "gmem_util": self.gmem_util_mean,
+            "gmem_util_var": self.gmem_util_var,
+            "gmem_used_gb": self.gmem_used_gb,
+            "gpu_power": self.gpu_power_mean,
+            "cpu_util": self.cpu_util_mean,
+        }
+
+
+class GPUTelemetryModel:
+    """Generates and summarises telemetry series for jobs."""
+
+    def __init__(self, config: TelemetryConfig = TelemetryConfig(), seed: int = 0):
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+
+    def series(self, profile: BehaviorProfile, runtime_s: float) -> dict[str, np.ndarray]:
+        """Generate the raw sampled series for one job.
+
+        SM utilisation: a truncated-normal base around ``sm_util_mean``;
+        ``burstiness`` b replaces a (1-b) fraction of samples with idle
+        readings while scaling the active ones up, keeping the mean —
+        modelling occasional-inference jobs whose *average* is near zero
+        but whose max is not.
+        """
+        n = self.config.n_samples(runtime_s)
+        p = profile
+        if p.sm_util_mean <= 0.0:
+            sm = np.zeros(n)
+        else:
+            sm = self.rng.normal(p.sm_util_mean, p.sm_util_jitter, size=n)
+            if p.burstiness > 0.0:
+                active = self.rng.random(n) < max(1.0 - p.burstiness, 1e-3)
+                scale = 1.0 / max(active.mean(), 1e-3)
+                sm = np.where(active, sm * scale, 0.0)
+        np.clip(sm, 0.0, 100.0, out=sm)
+
+        # memory-bandwidth utilisation loosely tracks SM activity
+        if p.gmem_util_mean <= 0.0:
+            gmem = np.zeros(n)
+        else:
+            gmem = self.rng.normal(p.gmem_util_mean, max(p.sm_util_jitter / 2, 1.0), n)
+        np.clip(gmem, 0.0, 100.0, out=gmem)
+
+        # power: idle floor plus SM-proportional dynamic power
+        power = p.idle_power_watts + (p.peak_power_watts - p.idle_power_watts) * (
+            sm / 100.0
+        )
+        power += self.rng.normal(0.0, 3.0, size=n)
+        np.clip(power, 0.0, None, out=power)
+
+        cpu = self.rng.normal(p.cpu_util_mean, 5.0, size=n)
+        np.clip(cpu, 0.0, 100.0, out=cpu)
+        return {"sm_util": sm, "gmem_util": gmem, "gpu_power": power, "cpu_util": cpu}
+
+    def summarize(self, profile: BehaviorProfile, runtime_s: float) -> TelemetrySummary:
+        """Generate a series and reduce it to the trace feature set."""
+        s = self.series(profile, runtime_s)
+        sm = s["sm_util"]
+        gmem = s["gmem_util"]
+        # nvidia-smi reports integer percentages; job-level aggregation in
+        # the traces buckets a near-zero average as "0%", so the mean/min/
+        # max are rounded to whole percent (variance keeps full precision)
+        return TelemetrySummary(
+            sm_util_mean=float(np.round(sm.mean())),
+            sm_util_var=float(sm.var()),
+            sm_util_min=float(np.round(sm.min())),
+            sm_util_max=float(np.round(sm.max())),
+            gmem_util_mean=float(gmem.mean()),
+            gmem_util_var=float(gmem.var()),
+            gmem_used_gb=float(max(profile.gmem_used_gb, 0.0)),
+            gpu_power_mean=float(s["gpu_power"].mean()),
+            cpu_util_mean=float(s["cpu_util"].mean()),
+        )

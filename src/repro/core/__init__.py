@@ -1,0 +1,86 @@
+"""Association-rule mining core — the paper's primary contribution.
+
+Layers, bottom to top:
+
+* :mod:`repro.core.items` / :mod:`repro.core.transactions` — interned
+  items and the CSR transaction database.
+* :mod:`repro.core.fpgrowth`, :mod:`repro.core.apriori`,
+  :mod:`repro.core.eclat` — interchangeable frequent-itemset miners.
+* :mod:`repro.core.itemsets`, :mod:`repro.core.metrics`,
+  :mod:`repro.core.rules` — result containers, rule quality metrics and
+  rule enumeration.
+* :mod:`repro.core.pruning` — the keyword-centric Conditions 1–4.
+* :mod:`repro.core.mining` — one-call orchestration with paper defaults.
+"""
+
+from .apriori import apriori, apriori_naive, generate_candidates
+from .eclat import eclat
+from .fpgrowth import FPNode, FPTree, fpgrowth
+from .items import Item, ItemVocabulary, render_itemset
+from .interest import (
+    ExtendedMetrics,
+    cosine,
+    extended_metrics,
+    imbalance_ratio,
+    jaccard,
+    kulczynski,
+)
+from .itemsets import FrequentItemsets
+from .metrics import RuleMetrics, compute_metrics, confidence, conviction, leverage, lift
+from .negative import NegativeRule, mine_negative_keyword_rules
+from .patterns import closed_itemsets, maximal_itemsets, support_of_from_closed
+from .mining import (
+    ALGORITHMS,
+    KeywordRuleSet,
+    MiningConfig,
+    mine_frequent_itemsets,
+    mine_keyword_rules,
+    mine_rules,
+)
+from .pruning import PruningConfig, PruningReport, keyword_rules, prune_rules
+from .rules import AssociationRule, generate_rules
+from .transactions import TransactionDatabase
+
+__all__ = [
+    "Item",
+    "ItemVocabulary",
+    "render_itemset",
+    "TransactionDatabase",
+    "fpgrowth",
+    "FPTree",
+    "FPNode",
+    "apriori",
+    "apriori_naive",
+    "generate_candidates",
+    "eclat",
+    "FrequentItemsets",
+    "closed_itemsets",
+    "maximal_itemsets",
+    "support_of_from_closed",
+    "NegativeRule",
+    "mine_negative_keyword_rules",
+    "ExtendedMetrics",
+    "extended_metrics",
+    "jaccard",
+    "cosine",
+    "kulczynski",
+    "imbalance_ratio",
+    "RuleMetrics",
+    "compute_metrics",
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "AssociationRule",
+    "generate_rules",
+    "PruningConfig",
+    "PruningReport",
+    "prune_rules",
+    "keyword_rules",
+    "MiningConfig",
+    "KeywordRuleSet",
+    "mine_frequent_itemsets",
+    "mine_rules",
+    "mine_keyword_rules",
+    "ALGORITHMS",
+]

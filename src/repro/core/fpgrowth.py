@@ -1,0 +1,236 @@
+"""FP-Growth frequent-itemset mining (Han et al., 2004).
+
+The paper uses FP-Growth as its mining workhorse (Sec. III-C): "FP-Growth
+uses a data structure called FP-tree to deal with performance issues
+(exponential runtime and memory requirements) presented in the Apriori
+algorithm when the database is large."
+
+Implementation notes
+---------------------
+* Items enter the tree in decreasing global-frequency order, the ordering
+  that maximises prefix sharing.
+* Conditional pattern bases are mined recursively; the classic
+  single-path shortcut enumerates all subsets of a chain directly.
+* ``max_len`` bounds itemset length *during* the recursion (the paper
+  limits frequent itemsets to length 5), so oversized branches are never
+  explored rather than filtered afterwards.
+* The output is a plain ``dict[frozenset[int], int]`` of support counts,
+  shared with the Apriori and Eclat implementations so the three can be
+  property-tested for equivalence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+import numpy as np
+
+from .transactions import TransactionDatabase
+
+__all__ = ["fpgrowth", "FPTree", "FPNode"]
+
+
+class FPNode:
+    """A node of an FP-tree: one item, a count, children keyed by item id."""
+
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item: int, parent: "FPNode | None"):
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict[int, FPNode] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FPNode(item={self.item}, count={self.count})"
+
+
+class FPTree:
+    """FP-tree with header links for bottom-up conditional mining."""
+
+    __slots__ = ("root", "header", "counts")
+
+    def __init__(self) -> None:
+        self.root = FPNode(-1, None)
+        #: item id → list of nodes carrying that item (the header table)
+        self.header: dict[int, list[FPNode]] = defaultdict(list)
+        #: item id → total count in this (conditional) tree
+        self.counts: dict[int, int] = defaultdict(int)
+
+    def insert(self, items: Iterable[int], count: int) -> None:
+        """Insert a transaction (items already filtered+ordered) *count* times."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = FPNode(item, node)
+                node.children[item] = child
+                self.header[item].append(child)
+            child.count += count
+            self.counts[item] += count
+            node = child
+
+    def is_empty(self) -> bool:
+        return not self.root.children
+
+    def single_path(self) -> list[tuple[int, int]] | None:
+        """Return [(item, count), ...] if the tree is a single chain, else None."""
+        path: list[tuple[int, int]] = []
+        node = self.root
+        while node.children:
+            if len(node.children) > 1:
+                return None
+            node = next(iter(node.children.values()))
+            path.append((node.item, node.count))
+        return path
+
+    def prefix_paths(self, item: int) -> list[tuple[list[int], int]]:
+        """Conditional pattern base of *item*: (prefix id list, count) pairs."""
+        paths: list[tuple[list[int], int]] = []
+        for node in self.header.get(item, ()):
+            prefix: list[int] = []
+            parent = node.parent
+            while parent is not None and parent.item != -1:
+                prefix.append(parent.item)
+                parent = parent.parent
+            if prefix:
+                prefix.reverse()
+                paths.append((prefix, node.count))
+        return paths
+
+
+def _build_tree(
+    transactions: Iterable[tuple[list[int], int]],
+    item_counts: dict[int, int],
+    min_count: int,
+) -> FPTree:
+    """Build an FP-tree keeping only frequent items, frequency-ordered.
+
+    Ties in frequency are broken by item id so construction is
+    deterministic for a given database.
+    """
+    frequent = {i for i, c in item_counts.items() if c >= min_count}
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(frequent, key=lambda i: (-item_counts[i], i))
+        )
+    }
+    tree = FPTree()
+    for items, count in transactions:
+        filtered = sorted(
+            (i for i in items if i in frequent), key=order.__getitem__
+        )
+        if filtered:
+            tree.insert(filtered, count)
+    return tree
+
+
+def _mine_tree(
+    tree: FPTree,
+    suffix: tuple[int, ...],
+    min_count: int,
+    max_len: int | None,
+    out: dict[frozenset[int], int],
+) -> None:
+    """Recursively mine *tree*, emitting itemsets extending *suffix*."""
+    if max_len is not None and len(suffix) >= max_len:
+        return
+
+    path = tree.single_path()
+    if path is not None:
+        # every combination of path items (capped at max_len) is frequent,
+        # supported by the minimum count along the chosen chain prefix
+        budget = None if max_len is None else max_len - len(suffix)
+        _emit_single_path(path, suffix, min_count, budget, out)
+        return
+
+    # process items from least frequent (bottom of the tree) upward
+    items = sorted(tree.counts, key=lambda i: (tree.counts[i], -i))
+    for item in items:
+        count = tree.counts[item]
+        if count < min_count:
+            continue
+        new_suffix = suffix + (item,)
+        out[frozenset(new_suffix)] = count
+        if max_len is not None and len(new_suffix) >= max_len:
+            continue
+        base = tree.prefix_paths(item)
+        if not base:
+            continue
+        cond_counts: dict[int, int] = defaultdict(int)
+        for prefix, c in base:
+            for i in prefix:
+                cond_counts[i] += c
+        cond_tree = _build_tree(base, cond_counts, min_count)
+        if not cond_tree.is_empty():
+            _mine_tree(cond_tree, new_suffix, min_count, max_len, out)
+
+
+def _emit_single_path(
+    path: list[tuple[int, int]],
+    suffix: tuple[int, ...],
+    min_count: int,
+    budget: int | None,
+    out: dict[frozenset[int], int],
+) -> None:
+    """Emit all subsets of a single-path tree (with their min-count support)."""
+    usable = [(item, count) for item, count in path if count >= min_count]
+
+    def recurse(start: int, chosen: tuple[int, ...], support: int) -> None:
+        for k in range(start, len(usable)):
+            item, count = usable[k]
+            new_support = min(support, count)
+            if new_support < min_count:
+                continue
+            new_chosen = chosen + (item,)
+            out[frozenset(suffix + new_chosen)] = new_support
+            if budget is None or len(new_chosen) < budget:
+                recurse(k + 1, new_chosen, new_support)
+
+    recurse(0, (), np.iinfo(np.int64).max)
+
+
+def fpgrowth(
+    db: TransactionDatabase,
+    min_support: float,
+    max_len: int | None = None,
+) -> dict[frozenset[int], int]:
+    """Mine all frequent itemsets of *db* with support ≥ *min_support*.
+
+    Parameters
+    ----------
+    db:
+        The transaction database.
+    min_support:
+        Relative support threshold in ``[0, 1]`` (the paper uses 0.05).
+    max_len:
+        Maximum itemset length (the paper uses 5), or None for unbounded.
+
+    Returns
+    -------
+    dict mapping ``frozenset`` of item ids → absolute support count.
+    """
+    if not 0.0 <= min_support <= 1.0:
+        raise ValueError(f"min_support must be in [0, 1], got {min_support}")
+    if max_len is not None and max_len < 1:
+        raise ValueError("max_len must be >= 1 or None")
+    n = len(db)
+    if n == 0:
+        return {}
+    # "support >= threshold" on real counts: ceil(min_support * n) with a
+    # floor of 1 so that support-0 itemsets are never emitted
+    min_count = max(1, int(np.ceil(min_support * n - 1e-9)))
+
+    counts = db.item_support_counts()
+    item_counts = {int(i): int(c) for i, c in enumerate(counts) if c >= min_count}
+    tree = _build_tree(
+        ((txn.tolist(), 1) for txn in db.iter_id_transactions()),
+        item_counts,
+        min_count,
+    )
+    out: dict[frozenset[int], int] = {}
+    if not tree.is_empty():
+        _mine_tree(tree, (), min_count, max_len, out)
+    return out

@@ -1,0 +1,92 @@
+"""Additional interestingness measures for ranking rules.
+
+Support/confidence/lift (Sec. III-B) are what the paper reports, but the
+rule-mining literature it builds on (Tan et al., Han et al.) consults a
+wider family when triaging output.  These are pure functions of the same
+three supports, so they bolt onto any mined rule:
+
+* **Jaccard** — |X∩Y| / |X∪Y| at the transaction level; symmetric
+  co-occurrence strength in [0, 1].
+* **Cosine** (a.k.a. IS measure) — geometric mean of the two directed
+  confidences; null-invariant (ignores transactions containing neither
+  side), unlike lift.
+* **Kulczynski** — arithmetic mean of the two directed confidences; also
+  null-invariant, paired with the imbalance ratio per Han et al.
+* **Imbalance ratio** — how asymmetric the two directions are; near 0
+  means X and Y imply each other equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .rules import AssociationRule
+
+__all__ = [
+    "jaccard",
+    "cosine",
+    "kulczynski",
+    "imbalance_ratio",
+    "ExtendedMetrics",
+    "extended_metrics",
+]
+
+
+def jaccard(supp_xy: float, supp_x: float, supp_y: float) -> float:
+    """supp(X∪Y) / (supp(X) + supp(Y) − supp(X∪Y))."""
+    denom = supp_x + supp_y - supp_xy
+    if denom <= 0.0:
+        return 0.0
+    return supp_xy / denom
+
+
+def cosine(supp_xy: float, supp_x: float, supp_y: float) -> float:
+    """supp(X∪Y) / sqrt(supp(X) · supp(Y)) — the IS measure."""
+    denom = (supp_x * supp_y) ** 0.5
+    if denom <= 0.0:
+        return 0.0
+    return supp_xy / denom
+
+
+def kulczynski(supp_xy: float, supp_x: float, supp_y: float) -> float:
+    """(conf(X⇒Y) + conf(Y⇒X)) / 2."""
+    if supp_x <= 0.0 or supp_y <= 0.0:
+        return 0.0
+    return 0.5 * (supp_xy / supp_x + supp_xy / supp_y)
+
+
+def imbalance_ratio(supp_xy: float, supp_x: float, supp_y: float) -> float:
+    """|supp(X) − supp(Y)| / (supp(X) + supp(Y) − supp(X∪Y))."""
+    denom = supp_x + supp_y - supp_xy
+    if denom <= 0.0:
+        return 0.0
+    return abs(supp_x - supp_y) / denom
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedMetrics:
+    """The null-invariant measure bundle for one rule."""
+
+    jaccard: float
+    cosine: float
+    kulczynski: float
+    imbalance_ratio: float
+
+
+def extended_metrics(rule: AssociationRule) -> ExtendedMetrics:
+    """Compute the extended measures from a rule's stored metrics.
+
+    The three base supports are recovered from (support, confidence,
+    lift): ``supp_x = supp/conf`` and ``supp_y = conf/lift``.
+    """
+    supp_xy = rule.support
+    if rule.confidence <= 0.0 or rule.lift <= 0.0:
+        return ExtendedMetrics(0.0, 0.0, 0.0, 0.0)
+    supp_x = supp_xy / rule.confidence
+    supp_y = rule.confidence / rule.lift
+    return ExtendedMetrics(
+        jaccard=jaccard(supp_xy, supp_x, supp_y),
+        cosine=cosine(supp_xy, supp_x, supp_y),
+        kulczynski=kulczynski(supp_xy, supp_x, supp_y),
+        imbalance_ratio=imbalance_ratio(supp_xy, supp_x, supp_y),
+    )

@@ -1,0 +1,146 @@
+"""Items and item vocabularies.
+
+In association analysis each transaction is a set of *items* drawn from a
+universe ``I`` (Sec. III-B).  For trace analysis an item is a
+feature/value pair such as ``SM Util = 0%`` or ``GPU Type = None``; purely
+boolean attributes ("Multi-GPU", "Tensorflow") are items whose value is
+the flag name itself.
+
+Internally, all mining algorithms operate on dense integer item ids
+interned through :class:`ItemVocabulary`; item objects only appear at the
+API boundary.  This keeps the hot loops allocation-free and lets itemsets
+be plain ``frozenset[int]`` keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+__all__ = ["Item", "ItemVocabulary", "render_itemset"]
+
+#: separator used in the canonical textual form of an item
+_SEP = " = "
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Item:
+    """A feature/value attribute of a job, e.g. ``Item("SM Util", "0%")``.
+
+    Items are immutable, hashable and totally ordered (by feature then
+    value), so they can live in frozensets and produce deterministic
+    renderings of rules.
+    """
+
+    feature: str
+    value: str
+
+    def __str__(self) -> str:
+        return f"{self.feature}{_SEP}{self.value}"
+
+    @classmethod
+    def flag(cls, name: str) -> "Item":
+        """A boolean attribute item, rendered as just its name.
+
+        The paper writes boolean items without a value part, e.g.
+        ``{"Multi-GPU"} ⇒ {"Failed"}``; we encode them as feature == value.
+        """
+        return cls(name, name)
+
+    @classmethod
+    def parse(cls, text: str) -> "Item":
+        """Parse the canonical textual form ``feature = value``.
+
+        A string without the separator parses as a flag item, so keyword
+        arguments in the high-level API accept either ``"Failed"`` or
+        ``"SM Util = 0%"``.
+        """
+        if _SEP in text:
+            feature, value = text.split(_SEP, 1)
+            return cls(feature, value)
+        return cls.flag(text)
+
+    @property
+    def is_flag(self) -> bool:
+        return self.feature == self.value
+
+    def render(self) -> str:
+        """Human-readable form: flags render as their bare name."""
+        return self.feature if self.is_flag else str(self)
+
+
+def as_item(value: "Item | str") -> Item:
+    """Coerce a string (canonical form) or Item into an Item."""
+    if isinstance(value, Item):
+        return value
+    if isinstance(value, str):
+        return Item.parse(value)
+    raise TypeError(f"cannot interpret {value!r} as an Item")
+
+
+class ItemVocabulary:
+    """Bidirectional mapping between :class:`Item` objects and dense ids.
+
+    Ids are assigned in insertion order and never recycled.  The mining
+    code paths only ever touch ids; rendering back to items happens when
+    building :class:`~repro.core.rules.AssociationRule` objects.
+    """
+
+    __slots__ = ("_items", "_ids")
+
+    def __init__(self, items: Iterable[Item | str] = ()):
+        self._items: list[Item] = []
+        self._ids: dict[Item, int] = {}
+        for item in items:
+            self.intern(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item: Item | str) -> bool:
+        return as_item(item) in self._ids
+
+    def __repr__(self) -> str:
+        return f"ItemVocabulary(n_items={len(self)})"
+
+    def intern(self, item: Item | str) -> int:
+        """Return the id for *item*, assigning a new one if unseen."""
+        item = as_item(item)
+        item_id = self._ids.get(item)
+        if item_id is None:
+            item_id = len(self._items)
+            self._ids[item] = item_id
+            self._items.append(item)
+        return item_id
+
+    def id_of(self, item: Item | str) -> int:
+        """Return the id of a known item; KeyError if absent."""
+        item = as_item(item)
+        try:
+            return self._ids[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} is not in the vocabulary") from None
+
+    def get_id(self, item: Item | str) -> int | None:
+        """Return the id of *item* or None if it was never interned."""
+        return self._ids.get(as_item(item))
+
+    def item_of(self, item_id: int) -> Item:
+        """Return the Item for a dense id."""
+        return self._items[item_id]
+
+    def items_of(self, ids: Iterable[int]) -> frozenset[Item]:
+        """Decode a collection of ids into a frozenset of items."""
+        return frozenset(self._items[i] for i in ids)
+
+    def encode(self, items: Iterable[Item | str]) -> frozenset[int]:
+        """Intern every item of a collection and return the id set."""
+        return frozenset(self.intern(i) for i in items)
+
+
+def render_itemset(items: Iterable[Item]) -> str:
+    """Deterministic ``{a, b, c}`` rendering of an itemset, sorted."""
+    return "{" + ", ".join(i.render() for i in sorted(items)) + "}"

@@ -1,0 +1,104 @@
+"""Container for the result of a frequent-itemset mining pass.
+
+:class:`FrequentItemsets` couples the raw ``frozenset[int] → count``
+mapping produced by the mining algorithms with the vocabulary and database
+size needed to interpret it, and offers the lookups that rule generation
+performs in its inner loop.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator, Mapping
+
+from .items import Item, ItemVocabulary, render_itemset
+
+__all__ = ["FrequentItemsets"]
+
+
+class FrequentItemsets:
+    """Frequent itemsets plus the context required to compute supports."""
+
+    __slots__ = ("counts", "vocabulary", "n_transactions", "min_support", "max_len")
+
+    def __init__(
+        self,
+        counts: Mapping[frozenset[int], int],
+        vocabulary: ItemVocabulary,
+        n_transactions: int,
+        min_support: float,
+        max_len: int | None = None,
+    ):
+        if n_transactions < 0:
+            raise ValueError("n_transactions must be >= 0")
+        self.counts: dict[frozenset[int], int] = dict(counts)
+        self.vocabulary = vocabulary
+        self.n_transactions = n_transactions
+        self.min_support = min_support
+        self.max_len = max_len
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __iter__(self) -> Iterator[frozenset[int]]:
+        return iter(self.counts)
+
+    def __contains__(self, itemset: frozenset[int]) -> bool:
+        return frozenset(itemset) in self.counts
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequentItemsets(n={len(self)}, n_transactions={self.n_transactions}, "
+            f"min_support={self.min_support})"
+        )
+
+    # -- lookups -----------------------------------------------------------------
+    def count_of(self, itemset: Iterable[int]) -> int:
+        """Support count σ(X); KeyError if X is not frequent."""
+        key = frozenset(itemset)
+        try:
+            return self.counts[key]
+        except KeyError:
+            raise KeyError(
+                f"itemset {self.render(key)} is not frequent at min_support="
+                f"{self.min_support}"
+            ) from None
+
+    def support_of(self, itemset: Iterable[int]) -> float:
+        """Relative support supp(X) ∈ [0, 1]."""
+        if self.n_transactions == 0:
+            return 0.0
+        return self.count_of(itemset) / self.n_transactions
+
+    def get_support(self, itemset: Iterable[int]) -> float | None:
+        """Relative support, or None if the itemset is not frequent."""
+        key = frozenset(itemset)
+        count = self.counts.get(key)
+        if count is None or self.n_transactions == 0:
+            return None
+        return count / self.n_transactions
+
+    # -- views --------------------------------------------------------------------
+    def by_length(self) -> dict[int, int]:
+        """Histogram: itemset length → number of frequent itemsets."""
+        return dict(sorted(Counter(len(s) for s in self.counts).items()))
+
+    def items_sets(self) -> Iterator[tuple[frozenset[Item], float]]:
+        """Iterate (decoded itemset, relative support) pairs."""
+        n = max(self.n_transactions, 1)
+        for ids, count in self.counts.items():
+            yield self.vocabulary.items_of(ids), count / n
+
+    def render(self, itemset: Iterable[int]) -> str:
+        """Human-readable form of an encoded itemset."""
+        return render_itemset(self.vocabulary.items_of(itemset))
+
+    def top(self, k: int, min_length: int = 1) -> list[tuple[frozenset[int], int]]:
+        """The *k* highest-support itemsets with at least *min_length* items."""
+        eligible = [
+            (ids, count)
+            for ids, count in self.counts.items()
+            if len(ids) >= min_length
+        ]
+        eligible.sort(key=lambda pair: (-pair[1], sorted(pair[0])))
+        return eligible[:k]

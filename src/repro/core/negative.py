@@ -1,0 +1,123 @@
+"""Negative association rules: ``X ⇒ ¬K`` for a keyword K.
+
+The paper's related work includes "prediction and analysis … using
+positive and negative association rule mining" (ref [53]).  For the
+operational questions here, the useful negative form is keyword-directed:
+*which job profiles reliably do NOT fail / do NOT idle their GPUs?* —
+the protective factors complementing the cause rules.
+
+Metrics derive from positive supports only (no complemented database is
+materialised)::
+
+    supp(X ∪ ¬K) = supp(X) − supp(X ∪ K)
+    conf(X ⇒ ¬K) = 1 − conf(X ⇒ K)
+    lift(X ⇒ ¬K) = conf(X ⇒ ¬K) / (1 − supp(K))
+
+Antecedents are the frequent itemsets not containing K; the same
+min-support / min-lift discipline as the positive pass applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .items import Item, as_item
+from .itemsets import FrequentItemsets
+from .mining import MiningConfig, mine_frequent_itemsets
+from .transactions import TransactionDatabase
+
+__all__ = ["NegativeRule", "mine_negative_keyword_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class NegativeRule:
+    """An implication ``antecedent ⇒ NOT keyword``."""
+
+    antecedent: frozenset[Item]
+    antecedent_ids: frozenset[int]
+    keyword: Item
+    support: float  # supp(X ∪ ¬K)
+    confidence: float  # conf(X ⇒ ¬K)
+    lift: float  # against supp(¬K)
+
+    def __str__(self) -> str:
+        items = ", ".join(i.render() for i in sorted(self.antecedent))
+        return (
+            f"{{{items}}} => NOT {self.keyword.render()}"
+            f"  [supp={self.support:.3f}, conf={self.confidence:.3f}, "
+            f"lift={self.lift:.2f}]"
+        )
+
+
+def mine_negative_keyword_rules(
+    db: TransactionDatabase,
+    keyword: Item | str,
+    config: MiningConfig = MiningConfig(),
+    itemsets: FrequentItemsets | None = None,
+    exclude_items: "list[Item | str] | None" = None,
+) -> list[NegativeRule]:
+    """Mine ``X ⇒ ¬keyword`` rules (protective factors).
+
+    Thresholds reuse the config: ``supp(X ∪ ¬K) ≥ min_support`` and
+    ``lift ≥ min_lift``.  Returns rules sorted by lift descending.
+
+    *exclude_items* drops antecedents containing any of the given items —
+    pass the keyword's sibling status labels ("Job Killed" when asking
+    what protects against "Failed"), whose mutual exclusivity makes them
+    trivially perfect but operationally useless protectors.
+    """
+    kw = as_item(keyword)
+    kw_id = db.vocabulary.get_id(kw)
+    n = len(db)
+    if kw_id is None or n == 0:
+        return []
+    if itemsets is None:
+        itemsets = mine_frequent_itemsets(db, config)
+    excluded_ids: set[int] = set()
+    for excluded in exclude_items or ():
+        eid = db.vocabulary.get_id(as_item(excluded))
+        if eid is not None:
+            excluded_ids.add(eid)
+
+    supp_k = db.support([kw_id])
+    supp_not_k = 1.0 - supp_k
+    if supp_not_k <= 0.0:
+        return []
+
+    vertical = db.vertical()
+    kw_mask = vertical[kw_id]
+
+    rules: list[NegativeRule] = []
+    for itemset, count_x in itemsets.counts.items():
+        if kw_id in itemset or (excluded_ids and itemset & excluded_ids):
+            continue
+        supp_x = count_x / n
+        # supp(X ∪ K) from the table when frequent, else exact count
+        with_k = itemsets.counts.get(itemset | {kw_id})
+        if with_k is not None:
+            supp_xk = with_k / n
+        else:
+            ids = sorted(itemset)
+            mask = vertical[ids[0]]
+            for i in ids[1:]:
+                mask = mask & vertical[i]
+            supp_xk = float((mask & kw_mask).sum()) / n
+        supp_x_not_k = supp_x - supp_xk
+        if supp_x_not_k < config.min_support - 1e-12:
+            continue
+        confidence = supp_x_not_k / supp_x if supp_x > 0 else 0.0
+        lift = confidence / supp_not_k
+        if lift < config.min_lift:
+            continue
+        rules.append(
+            NegativeRule(
+                antecedent=db.vocabulary.items_of(itemset),
+                antecedent_ids=frozenset(itemset),
+                keyword=kw,
+                support=supp_x_not_k,
+                confidence=confidence,
+                lift=lift,
+            )
+        )
+    rules.sort(key=lambda r: (-r.lift, -r.confidence, -r.support, str(sorted(r.antecedent))))
+    return rules

@@ -1,0 +1,110 @@
+"""Condensed pattern representations: closed and maximal itemsets.
+
+At a 5 % support floor the full frequent-itemset table can still be
+large (Fig. 1: 232k itemsets for PAI); the streaming-mining literature
+the paper cites (Sec. VI — CICLAD, FGC-Stream) works with *closed*
+itemsets precisely to shrink it.  These filters are lossless
+(closed: every frequent itemset's support is recoverable) or lossy but
+minimal (maximal: only the frontier of frequency).
+
+Definitions over a frequent-itemset table ``F``:
+
+* ``X`` is **closed** iff no proper superset in ``F`` has the same
+  support count;
+* ``X`` is **maximal** iff no proper superset is in ``F`` at all.
+
+Maximal ⊆ closed ⊆ frequent, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .itemsets import FrequentItemsets
+
+__all__ = [
+    "closed_itemsets",
+    "maximal_itemsets",
+    "support_of_from_closed",
+]
+
+
+def _by_length(counts: dict[frozenset[int], int]) -> dict[int, list[frozenset[int]]]:
+    buckets: dict[int, list[frozenset[int]]] = defaultdict(list)
+    for itemset in counts:
+        buckets[len(itemset)].append(itemset)
+    return buckets
+
+
+def closed_itemsets(itemsets: FrequentItemsets) -> FrequentItemsets:
+    """The closed subset of a frequent-itemset table.
+
+    An itemset is removed when some superset one item larger has the same
+    count; by anti-monotonicity it then has an equal-support superset in
+    general.  O(Σ |X| · supersets) via candidate-extension lookups.
+    """
+    counts = itemsets.counts
+    buckets = _by_length(counts)
+    closed: dict[frozenset[int], int] = {}
+    # group supersets by length for O(1) bucket access
+    for length, members in buckets.items():
+        larger = buckets.get(length + 1, [])
+        # index supersets by each (itemset minus one item) to avoid the
+        # quadratic all-pairs subset scan
+        by_subset: dict[frozenset[int], list[frozenset[int]]] = defaultdict(list)
+        for sup in larger:
+            for item in sup:
+                by_subset[sup - {item}].append(sup)
+        for itemset in members:
+            count = counts[itemset]
+            if any(counts[sup] == count for sup in by_subset.get(itemset, ())):
+                continue
+            closed[itemset] = count
+    return FrequentItemsets(
+        closed,
+        itemsets.vocabulary,
+        itemsets.n_transactions,
+        itemsets.min_support,
+        itemsets.max_len,
+    )
+
+
+def maximal_itemsets(itemsets: FrequentItemsets) -> FrequentItemsets:
+    """The maximal subset of a frequent-itemset table."""
+    counts = itemsets.counts
+    buckets = _by_length(counts)
+    maximal: dict[frozenset[int], int] = {}
+    for length, members in buckets.items():
+        larger = buckets.get(length + 1, [])
+        by_subset: dict[frozenset[int], set[frozenset[int]]] = defaultdict(set)
+        for sup in larger:
+            for item in sup:
+                by_subset[sup - {item}].add(sup)
+        for itemset in members:
+            if by_subset.get(itemset):
+                continue
+            maximal[itemset] = counts[itemset]
+    return FrequentItemsets(
+        maximal,
+        itemsets.vocabulary,
+        itemsets.n_transactions,
+        itemsets.min_support,
+        itemsets.max_len,
+    )
+
+
+def support_of_from_closed(
+    closed: FrequentItemsets, itemset: frozenset[int]
+) -> int | None:
+    """Recover the support of any frequent itemset from the closed table.
+
+    The support of ``X`` equals the maximum support among closed supersets
+    of ``X`` (its *closure*); None if no closed superset exists (i.e. X
+    was not frequent).  This is the losslessness property of the closed
+    representation.
+    """
+    best: int | None = None
+    for candidate, count in closed.counts.items():
+        if itemset <= candidate and (best is None or count > best):
+            best = count
+    return best

@@ -1,0 +1,178 @@
+"""Keyword-centric rule pruning — Conditions 1–4 of Sec. III-D.
+
+A *keyword* is the item under investigation (e.g. ``Failed`` or
+``SM Util = 0%``).  Rules with the keyword in the **consequent** serve
+*cause analysis*; rules with the keyword in the **antecedent** serve
+*characteristic analysis*.  The four conditions discard rules that are
+redundant relative to a shorter/longer sibling:
+
+=========  ==================  ==========================  ===============================
+Condition  keyword position    rules differ in             keeps
+=========  ==================  ==========================  ===============================
+1          consequent          antecedent (X_i ⊂ X_j)      shorter X unless longer has
+                                                           clearly higher lift & similar supp
+2          antecedent          consequent (Y_i ⊂ Y_j)      more specific Y unless lift drops
+3          consequent (both)   consequent (Y_i ⊂ Y_j)      concise consequent
+4          antecedent (both)   antecedent (X_i ⊂ X_j)      generalising antecedent
+=========  ==================  ==========================  ===============================
+
+``C_lift`` and ``C_supp`` (both ≥ 1; the paper uses 1.5 for every trace)
+regulate how easily "similar lift" / "similar support" comparisons fire.
+
+Decisions are evaluated against the *original* rule set (non-cascading):
+every pairwise test sees all input rules, and a rule is dropped if any
+test marks it.  This makes the result independent of rule enumeration
+order, which the paper's description implicitly assumes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field as dataclass_field
+from typing import Iterable, Sequence
+
+from .items import Item, as_item
+from .rules import AssociationRule
+
+__all__ = ["PruningConfig", "PruningReport", "prune_rules", "keyword_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class PruningConfig:
+    """Tunables of the pruning pass (paper defaults)."""
+
+    c_lift: float = 1.5
+    c_supp: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.c_lift < 1.0:
+            raise ValueError("C_lift must be >= 1")
+        if self.c_supp < 1.0:
+            raise ValueError("C_supp must be >= 1")
+
+
+@dataclass(slots=True)
+class PruningReport:
+    """Bookkeeping of which condition removed how many rules."""
+
+    n_input: int = 0
+    n_kept: int = 0
+    pruned_by_condition: Counter = dataclass_field(default_factory=Counter)
+
+    @property
+    def n_pruned(self) -> int:
+        return self.n_input - self.n_kept
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"C{cond}: {count}" for cond, count in sorted(self.pruned_by_condition.items())
+        )
+        return (
+            f"PruningReport(input={self.n_input}, kept={self.n_kept}, "
+            f"pruned={self.n_pruned} [{parts or 'none'}])"
+        )
+
+
+def keyword_rules(
+    rules: Iterable[AssociationRule], keyword: Item | str
+) -> list[AssociationRule]:
+    """Restrict to rules mentioning *keyword* on either side."""
+    kw = as_item(keyword)
+    return [r for r in rules if r.contains(kw)]
+
+
+def _similar_or_higher(a: float, b: float, margin: float) -> bool:
+    """True if ``margin * a >= b`` — "a is similar to or higher than b"."""
+    return margin * a >= b
+
+
+def prune_rules(
+    rules: Sequence[AssociationRule],
+    keyword: Item | str,
+    config: PruningConfig = PruningConfig(),
+) -> tuple[list[AssociationRule], PruningReport]:
+    """Apply Conditions 1–4 to *rules* for the given *keyword*.
+
+    Input rules not containing the keyword are removed up front (they are
+    irrelevant to the analysis objective).  Returns the surviving rules in
+    their input order plus a :class:`PruningReport`.
+    """
+    kw = as_item(keyword)
+    relevant = keyword_rules(rules, kw)
+    report = PruningReport(n_input=len(relevant))
+
+    pruned: dict[int, int] = {}  # rule index → condition that removed it
+
+    def mark(idx: int, condition: int) -> None:
+        # first condition to fire is the one recorded
+        pruned.setdefault(idx, condition)
+
+    in_consequent = [kw in r.consequent for r in relevant]
+    in_antecedent = [kw in r.antecedent for r in relevant]
+
+    # --- group by consequent: Conditions 1 and 4 (antecedents differ) --------
+    by_consequent: dict[frozenset[int], list[int]] = defaultdict(list)
+    for idx, rule in enumerate(relevant):
+        by_consequent[rule.consequent_ids].append(idx)
+
+    for group in by_consequent.values():
+        for pos_a, i in enumerate(group):
+            for j in group[pos_a + 1 :]:
+                short, long_ = _nested(relevant, i, j, side="antecedent")
+                if short is None:
+                    continue
+                rs, rl = relevant[short], relevant[long_]
+                if in_consequent[short]:  # keyword in (shared) consequent
+                    # Condition 1: cause analysis, antecedents nested
+                    if _similar_or_higher(rs.lift, rl.lift, config.c_lift):
+                        mark(long_, 1)
+                    elif _similar_or_higher(rl.support, rs.support, config.c_supp):
+                        mark(short, 1)
+                elif in_antecedent[short] and in_antecedent[long_]:
+                    # Condition 4: characteristics, keyword in both antecedents
+                    if _similar_or_higher(rs.lift, rl.lift, config.c_lift):
+                        mark(long_, 4)
+
+    # --- group by antecedent: Conditions 2 and 3 (consequents differ) --------
+    by_antecedent: dict[frozenset[int], list[int]] = defaultdict(list)
+    for idx, rule in enumerate(relevant):
+        by_antecedent[rule.antecedent_ids].append(idx)
+
+    for group in by_antecedent.values():
+        for pos_a, i in enumerate(group):
+            for j in group[pos_a + 1 :]:
+                short, long_ = _nested(relevant, i, j, side="consequent")
+                if short is None:
+                    continue
+                rs, rl = relevant[short], relevant[long_]
+                if in_antecedent[short]:  # keyword in (shared) antecedent
+                    # Condition 2: characteristics, consequents nested
+                    if _similar_or_higher(
+                        rl.lift, rs.lift, config.c_lift
+                    ) and _similar_or_higher(rl.support, rs.support, config.c_supp):
+                        mark(short, 2)
+                    elif config.c_lift * rl.lift < rs.lift:
+                        mark(long_, 2)
+                elif in_consequent[short] and in_consequent[long_]:
+                    # Condition 3: cause analysis, keyword in both consequents
+                    if _similar_or_higher(rs.lift, rl.lift, config.c_lift):
+                        mark(long_, 3)
+
+    kept = [r for idx, r in enumerate(relevant) if idx not in pruned]
+    report.n_kept = len(kept)
+    report.pruned_by_condition.update(pruned.values())
+    return kept, report
+
+
+def _nested(
+    rules: Sequence[AssociationRule], i: int, j: int, side: str
+) -> tuple[int | None, int | None]:
+    """If one rule's *side* itemset strictly contains the other's, return
+    (shorter index, longer index); else (None, None)."""
+    a = getattr(rules[i], f"{side}_ids")
+    b = getattr(rules[j], f"{side}_ids")
+    if a < b:
+        return i, j
+    if b < a:
+        return j, i
+    return None, None

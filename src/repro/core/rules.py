@@ -1,0 +1,202 @@
+"""Association-rule generation from frequent itemsets (Sec. III-B/D).
+
+For every frequent itemset ``Z`` with ``|Z| ≥ 2``, each non-empty proper
+subset ``X ⊂ Z`` yields a candidate rule ``X ⇒ Z∖X``.  The paper filters
+candidates by a minimum lift of 1.5 ("the rules we generate are 50% more
+likely to appear together than expected assuming the rule antecedent and
+consequent are independent"); a minimum confidence can be layered on top.
+
+All supports needed to score a rule are available from the frequent-itemset
+table itself (every subset of a frequent itemset is frequent), so rule
+generation never rescans the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterable
+
+from .items import Item, ItemVocabulary, render_itemset
+from .itemsets import FrequentItemsets
+from .metrics import RuleMetrics, compute_metrics
+
+__all__ = ["AssociationRule", "generate_rules"]
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """An implication ``antecedent ⇒ consequent`` with its quality metrics.
+
+    The id-space fields (``antecedent_ids`` / ``consequent_ids``) are what
+    the pruning machinery compares; the decoded frozensets of
+    :class:`Item` are for presentation.
+    """
+
+    antecedent: frozenset[Item]
+    consequent: frozenset[Item]
+    antecedent_ids: frozenset[int]
+    consequent_ids: frozenset[int]
+    support: float
+    confidence: float
+    lift: float
+    leverage: float
+    conviction: float
+
+    def __post_init__(self) -> None:
+        if not self.antecedent_ids or not self.consequent_ids:
+            raise ValueError("rule sides must be non-empty")
+        if self.antecedent_ids & self.consequent_ids:
+            raise ValueError("antecedent and consequent must be disjoint")
+
+    def __str__(self) -> str:
+        return (
+            f"{render_itemset(self.antecedent)} => {render_itemset(self.consequent)}"
+            f"  [supp={self.support:.3f}, conf={self.confidence:.3f}, lift={self.lift:.2f}]"
+        )
+
+    @property
+    def items(self) -> frozenset[Item]:
+        """Every item appearing in the rule."""
+        return self.antecedent | self.consequent
+
+    @property
+    def item_ids(self) -> frozenset[int]:
+        return self.antecedent_ids | self.consequent_ids
+
+    @property
+    def length(self) -> int:
+        """Total number of items across both sides."""
+        return len(self.antecedent_ids) + len(self.consequent_ids)
+
+    def contains(self, item: Item | int) -> bool:
+        """True if *item* (Item or id) appears on either side."""
+        if isinstance(item, int):
+            return item in self.antecedent_ids or item in self.consequent_ids
+        return item in self.antecedent or item in self.consequent
+
+    def metrics(self) -> RuleMetrics:
+        return RuleMetrics(
+            support=self.support,
+            confidence=self.confidence,
+            lift=self.lift,
+            leverage=self.leverage,
+            conviction=self.conviction,
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form, used by report tables and CSV export."""
+        return {
+            "antecedent": ", ".join(i.render() for i in sorted(self.antecedent)),
+            "consequent": ", ".join(i.render() for i in sorted(self.consequent)),
+            "support": round(self.support, 6),
+            "confidence": round(self.confidence, 6),
+            "lift": round(self.lift, 6),
+            "leverage": round(self.leverage, 6),
+            "conviction": self.conviction,
+        }
+
+
+def _make_rule(
+    antecedent_ids: frozenset[int],
+    consequent_ids: frozenset[int],
+    metrics: RuleMetrics,
+    vocabulary: ItemVocabulary,
+) -> AssociationRule:
+    return AssociationRule(
+        antecedent=vocabulary.items_of(antecedent_ids),
+        consequent=vocabulary.items_of(consequent_ids),
+        antecedent_ids=antecedent_ids,
+        consequent_ids=consequent_ids,
+        support=metrics.support,
+        confidence=metrics.confidence,
+        lift=metrics.lift,
+        leverage=metrics.leverage,
+        conviction=metrics.conviction,
+    )
+
+
+def generate_rules(
+    itemsets: FrequentItemsets,
+    min_lift: float = 1.5,
+    min_confidence: float = 0.0,
+    keyword_ids: Iterable[int] | None = None,
+    expand_only: Iterable[frozenset[int]] | None = None,
+) -> list[AssociationRule]:
+    """Enumerate and score rules from *itemsets*.
+
+    Parameters
+    ----------
+    itemsets:
+        Output of a mining pass; supplies all subset supports.
+    min_lift:
+        Keep rules with ``lift ≥ min_lift`` (paper default 1.5).
+    min_confidence:
+        Optional extra confidence floor (paper relies on lift alone).
+    keyword_ids:
+        If given, only rules containing at least one of these item ids are
+        emitted — the keyword-relevance restriction of Sec. III-D, applied
+        during generation to avoid materialising irrelevant rules.
+    expand_only:
+        If given, only these itemsets are split into rules (subset
+        supports still come from the full table) — the hook the parallel
+        rule generator uses to shard work across processes.
+
+    Rules are returned sorted by (lift, confidence, support) descending,
+    ties broken by rendered text so output order is deterministic.
+    """
+    if min_lift < 0:
+        raise ValueError("min_lift must be >= 0")
+    if not 0.0 <= min_confidence <= 1.0:
+        raise ValueError("min_confidence must be in [0, 1]")
+    keywords = frozenset(keyword_ids) if keyword_ids is not None else None
+
+    n = itemsets.n_transactions
+    if n == 0:
+        return []
+    counts = itemsets.counts
+    vocabulary = itemsets.vocabulary
+    rules: list[AssociationRule] = []
+
+    if expand_only is not None:
+        surface: Iterable[tuple[frozenset[int], int]] = (
+            (itemset, counts[itemset]) for itemset in expand_only
+        )
+    else:
+        surface = counts.items()
+
+    for itemset, count_xy in surface:
+        if len(itemset) < 2:
+            continue
+        if keywords is not None and not (itemset & keywords):
+            continue
+        supp_xy = count_xy / n
+        members = sorted(itemset)
+        # every split of the itemset into non-empty (antecedent, consequent)
+        for size in range(1, len(members)):
+            for antecedent in combinations(members, size):
+                antecedent_ids = frozenset(antecedent)
+                consequent_ids = itemset - antecedent_ids
+                count_x = counts.get(antecedent_ids)
+                count_y = counts.get(consequent_ids)
+                if count_x is None or count_y is None:
+                    # cannot happen for a downward-closed itemset table, but
+                    # partitioned (SON) candidate sets may be incomplete
+                    continue
+                metrics = compute_metrics(supp_xy, count_x / n, count_y / n)
+                if metrics.lift < min_lift or metrics.confidence < min_confidence:
+                    continue
+                rules.append(
+                    _make_rule(antecedent_ids, consequent_ids, metrics, vocabulary)
+                )
+
+    rules.sort(
+        key=lambda r: (
+            -r.lift,
+            -r.confidence,
+            -r.support,
+            str(sorted(r.antecedent)),
+            str(sorted(r.consequent)),
+        )
+    )
+    return rules

@@ -1,0 +1,235 @@
+"""Transaction database: the mining algorithms' shared input format.
+
+A :class:`TransactionDatabase` stores one transaction per job in CSR
+layout — a flat ``indices`` array of item ids plus an ``indptr`` offset
+array — exactly like a scipy CSR matrix but without the dependency.  The
+layout gives cache-friendly sequential scans (Apriori counting,
+FP-tree construction) and cheap per-item *vertical* views (boolean
+occurrence vectors) used by Eclat and by rule-metric evaluation.
+
+Invariants:
+
+* within each transaction, item ids are strictly increasing (sorted,
+  deduplicated at construction);
+* every id is a valid index into the attached :class:`ItemVocabulary`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .items import Item, ItemVocabulary, as_item
+
+__all__ = ["TransactionDatabase"]
+
+
+class TransactionDatabase:
+    """An immutable set of transactions over an interned item vocabulary."""
+
+    __slots__ = ("vocabulary", "indptr", "indices", "_vertical_cache")
+
+    def __init__(
+        self,
+        vocabulary: ItemVocabulary,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ):
+        self.vocabulary = vocabulary
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int32)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise ValueError("indptr and indices must be 1-D")
+        if self.indptr.size == 0 or self.indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if self.indptr[-1] != self.indices.size:
+            raise ValueError("indptr must end at len(indices)")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= len(vocabulary)
+        ):
+            raise ValueError("item id out of vocabulary range")
+        self._vertical_cache: np.ndarray | None = None
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_itemsets(
+        cls,
+        transactions: Iterable[Iterable[Item | str]],
+        vocabulary: ItemVocabulary | None = None,
+    ) -> "TransactionDatabase":
+        """Build from an iterable of item collections.
+
+        Items are interned into *vocabulary* (a fresh one by default);
+        duplicates within a transaction are collapsed.
+        """
+        vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        indptr = [0]
+        flat: list[int] = []
+        for txn in transactions:
+            ids = sorted({vocab.intern(as_item(i)) for i in txn})
+            flat.extend(ids)
+            indptr.append(len(flat))
+        return cls(
+            vocab,
+            np.asarray(indptr, dtype=np.int64),
+            np.asarray(flat, dtype=np.int32),
+        )
+
+    @classmethod
+    def from_onehot(
+        cls,
+        matrix: np.ndarray,
+        items: Sequence[Item | str],
+        vocabulary: ItemVocabulary | None = None,
+    ) -> "TransactionDatabase":
+        """Build from a boolean one-hot matrix (n_transactions × n_items).
+
+        This is the hand-off point from the preprocessing pipeline, which
+        produces exactly this encoding (Sec. III-E: "the database gets
+        transformed using one-hot encoding into the FP-Growth algorithm's
+        supported format").
+        """
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise ValueError("one-hot matrix must be 2-D")
+        if matrix.shape[1] != len(items):
+            raise ValueError(
+                f"matrix has {matrix.shape[1]} columns but {len(items)} items given"
+            )
+        vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        col_ids = np.asarray([vocab.intern(as_item(i)) for i in items], dtype=np.int32)
+        if len(set(col_ids.tolist())) != col_ids.size:
+            raise ValueError("duplicate items in one-hot column list")
+        rows, cols = np.nonzero(matrix)
+        ids = col_ids[cols]
+        # sort by (row, id) so per-transaction ids are increasing
+        order = np.lexsort((ids, rows))
+        indices = ids[order]
+        counts = np.bincount(rows, minlength=matrix.shape[0])
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return cls(vocab, indptr, indices)
+
+    # -- basic protocol --------------------------------------------------------
+    def __len__(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.vocabulary)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(n_transactions={len(self)}, "
+            f"n_items={self.n_items}, nnz={self.indices.size})"
+        )
+
+    def transaction(self, i: int) -> np.ndarray:
+        """Item ids of transaction *i* (a read-only view, sorted)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def iter_id_transactions(self) -> Iterator[np.ndarray]:
+        """Iterate transactions as sorted id arrays (views, do not mutate)."""
+        indptr, indices = self.indptr, self.indices
+        for i in range(len(self)):
+            yield indices[indptr[i] : indptr[i + 1]]
+
+    def iter_item_transactions(self) -> Iterator[frozenset[Item]]:
+        """Iterate transactions decoded back to Item frozensets."""
+        for ids in self.iter_id_transactions():
+            yield self.vocabulary.items_of(ids.tolist())
+
+    # -- support machinery ------------------------------------------------------
+    def item_support_counts(self) -> np.ndarray:
+        """Support count of every item id, shape (n_items,)."""
+        return np.bincount(self.indices, minlength=self.n_items).astype(np.int64)
+
+    def vertical(self) -> np.ndarray:
+        """Boolean occurrence matrix of shape (n_items, n_transactions).
+
+        Column-major per item: ``vertical()[i]`` is the occurrence vector
+        of item ``i``.  Built lazily and cached; at trace scale (hundreds
+        of items × ~1e5 jobs) this is tens of MB of bools, which is the
+        memory/speed trade-off Eclat makes by design.
+        """
+        if self._vertical_cache is None:
+            mat = np.zeros((self.n_items, len(self)), dtype=bool)
+            rows = np.repeat(
+                np.arange(len(self), dtype=np.int64), np.diff(self.indptr)
+            )
+            mat[self.indices, rows] = True
+            self._vertical_cache = mat
+        return self._vertical_cache
+
+    def support_count(self, itemset: Iterable[int | Item | str]) -> int:
+        """σ(X): number of transactions containing every element of X."""
+        ids = self._to_ids(itemset)
+        if not ids:
+            return len(self)
+        vertical = self.vertical()
+        mask = vertical[ids[0]]
+        for i in ids[1:]:
+            mask = mask & vertical[i]
+        return int(mask.sum())
+
+    def support(self, itemset: Iterable[int | Item | str]) -> float:
+        """supp(X) = σ(X) / |D| (Eq. 1)."""
+        if len(self) == 0:
+            return 0.0
+        return self.support_count(itemset) / len(self)
+
+    def _to_ids(self, itemset: Iterable[int | Item | str]) -> list[int]:
+        ids: list[int] = []
+        for element in itemset:
+            if isinstance(element, (int, np.integer)):
+                item_id = int(element)
+                if not 0 <= item_id < self.n_items:
+                    raise KeyError(f"item id {item_id} out of range")
+                ids.append(item_id)
+            else:
+                ids.append(self.vocabulary.id_of(element))
+        return ids
+
+    # -- projections -------------------------------------------------------------
+    def restrict_items(self, keep_ids: Iterable[int]) -> "TransactionDatabase":
+        """Drop all items outside *keep_ids* (ids preserved, vocab shared).
+
+        Used to discard infrequent items before FP-tree construction and by
+        the skew filter; empty transactions are retained so that |D| (and
+        thus every support value) is unchanged.
+        """
+        keep = np.zeros(self.n_items, dtype=bool)
+        keep[np.fromiter(keep_ids, dtype=np.int64)] = True
+        mask = keep[self.indices]
+        new_indices = self.indices[mask]
+        # prefix-sum of the keep mask evaluated at transaction boundaries is
+        # robust to empty transactions anywhere in the database
+        cum = np.concatenate([[0], np.cumsum(mask, dtype=np.int64)])
+        new_indptr = cum[self.indptr]
+        return TransactionDatabase(self.vocabulary, new_indptr, new_indices)
+
+    def sample(self, indices: Sequence[int]) -> "TransactionDatabase":
+        """Select a subset of transactions by row index (for partitioning)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        lengths = np.diff(self.indptr)[idx]
+        new_indptr = np.concatenate([[0], np.cumsum(lengths)]).astype(np.int64)
+        parts = [self.transaction(int(i)) for i in idx]
+        new_indices = (
+            np.concatenate(parts) if parts else np.asarray([], dtype=np.int32)
+        )
+        return TransactionDatabase(self.vocabulary, new_indptr, new_indices)
+
+    def split(self, n_parts: int) -> list["TransactionDatabase"]:
+        """Split into *n_parts* contiguous chunks (for SON partitioned mining)."""
+        if n_parts < 1:
+            raise ValueError("n_parts must be >= 1")
+        bounds = np.linspace(0, len(self), n_parts + 1).astype(np.int64)
+        return [
+            self.sample(range(int(bounds[k]), int(bounds[k + 1])))
+            for k in range(n_parts)
+            if bounds[k + 1] > bounds[k]
+        ]

@@ -1,0 +1,11 @@
+"""Parallel / partitioned mining (SON two-phase scheme)."""
+
+from .partition import count_candidates, local_candidates, son_mine
+from .rulegen import parallel_generate_rules
+
+__all__ = [
+    "son_mine",
+    "count_candidates",
+    "local_candidates",
+    "parallel_generate_rules",
+]

@@ -1,0 +1,12 @@
+"""Rule-based prediction — validating the paper's classifier takeaways."""
+
+from .classifier import ClassifierRule, RuleClassifier
+from .evaluation import ClassificationReport, evaluate_predictions, split_database
+
+__all__ = [
+    "RuleClassifier",
+    "ClassifierRule",
+    "ClassificationReport",
+    "evaluate_predictions",
+    "split_database",
+]

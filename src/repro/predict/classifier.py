@@ -1,0 +1,154 @@
+"""Rule-based classification from mined association rules.
+
+The paper's takeaways repeatedly point from *rules* to *predictors*:
+
+* PAI underutilisation: "a prediction model can be used to identify jobs
+  that tend to underutilize GPU cores at the job submission stage" —
+  the antecedents of the C-rules are submission-time features;
+* PAI failure: "the presence of multiple strong rules indicates that a
+  simple rule-based or tree-based classifier will suffice";
+* SuperCloud/Philly failure: "more complex models such as neural networks
+  will be needed" — i.e. a rule-based classifier should do *poorly*.
+
+:class:`RuleClassifier` implements the classic CBA-style scheme: keep the
+rules whose consequent is exactly the target item, order them by
+(confidence, lift, support), and classify a transaction as positive if
+any kept rule's antecedent is contained in it.  The default class is
+negative.  This is deliberately the *simple* classifier the paper talks
+about — the point of the prediction bench is to measure where it is and
+is not sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.items import Item, as_item
+from ..core.rules import AssociationRule
+from ..core.transactions import TransactionDatabase
+
+__all__ = ["RuleClassifier", "ClassifierRule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassifierRule:
+    """One decision rule: antecedent item ids plus its training metrics."""
+
+    antecedent_ids: frozenset[int]
+    antecedent: frozenset[Item]
+    confidence: float
+    lift: float
+    support: float
+
+    def __str__(self) -> str:
+        items = ", ".join(i.render() for i in sorted(self.antecedent))
+        return f"[{items}] (conf={self.confidence:.2f}, lift={self.lift:.2f})"
+
+
+class RuleClassifier:
+    """Predict a target item from association rules (CBA-style)."""
+
+    def __init__(self, target: Item | str, rules: Sequence[ClassifierRule]):
+        self.target = as_item(target)
+        #: strongest-first decision list
+        self.rules = sorted(
+            rules, key=lambda r: (-r.confidence, -r.lift, -r.support)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return f"RuleClassifier(target={self.target.render()!r}, n_rules={len(self)})"
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_rules(
+        cls,
+        rules: Iterable[AssociationRule],
+        target: Item | str,
+        allowed_features: Iterable[str] | None = None,
+        min_confidence: float = 0.0,
+        max_rules: int | None = None,
+    ) -> "RuleClassifier":
+        """Build from mined rules.
+
+        Keeps rules whose consequent is exactly ``{target}``.  With
+        *allowed_features*, antecedents using any other feature are
+        dropped — pass the submission-time feature names to get the
+        paper's "predict at the job submission stage" setting.
+        """
+        target_item = as_item(target)
+        allowed = set(allowed_features) if allowed_features is not None else None
+        kept: list[ClassifierRule] = []
+        for rule in rules:
+            if rule.consequent != frozenset({target_item}):
+                continue
+            if rule.confidence < min_confidence:
+                continue
+            if allowed is not None and not all(
+                i.feature in allowed for i in rule.antecedent
+            ):
+                continue
+            kept.append(
+                ClassifierRule(
+                    antecedent_ids=rule.antecedent_ids,
+                    antecedent=rule.antecedent,
+                    confidence=rule.confidence,
+                    lift=rule.lift,
+                    support=rule.support,
+                )
+            )
+        kept.sort(key=lambda r: (-r.confidence, -r.lift, -r.support))
+        if max_rules is not None:
+            kept = kept[:max_rules]
+        return cls(target_item, kept)
+
+    # -- prediction --------------------------------------------------------------
+    def predict_transaction(self, item_ids: frozenset[int] | set[int]) -> bool:
+        """True if any decision rule's antecedent is contained in the set."""
+        ids = frozenset(item_ids)
+        return any(rule.antecedent_ids <= ids for rule in self.rules)
+
+    def matching_rule(
+        self, item_ids: frozenset[int] | set[int]
+    ) -> ClassifierRule | None:
+        """The strongest rule that fires, or None — the *explanation* of a
+        positive prediction (the interpretability contract)."""
+        ids = frozenset(item_ids)
+        for rule in self.rules:
+            if rule.antecedent_ids <= ids:
+                return rule
+        return None
+
+    def predict(self, db: TransactionDatabase) -> np.ndarray:
+        """Vectorised prediction for every transaction of *db*.
+
+        Each decision rule is one AND over vertical occurrence vectors;
+        the classifier is the OR of its rules.
+        """
+        n = len(db)
+        out = np.zeros(n, dtype=bool)
+        if not self.rules:
+            return out
+        vertical = db.vertical()
+        n_items = db.n_items
+        for rule in self.rules:
+            ids = sorted(rule.antecedent_ids)
+            if any(i >= n_items for i in ids):
+                continue  # item never occurs in this database
+            mask = vertical[ids[0]].copy()
+            for i in ids[1:]:
+                mask &= vertical[i]
+            out |= mask
+        return out
+
+    def labels(self, db: TransactionDatabase) -> np.ndarray:
+        """Ground-truth labels: does the transaction contain the target?"""
+        target_id = db.vocabulary.get_id(self.target)
+        if target_id is None:
+            return np.zeros(len(db), dtype=bool)
+        return db.vertical()[target_id].copy()

@@ -1,0 +1,95 @@
+"""Evaluation utilities for rule-based prediction.
+
+Provides the train/test protocol the paper's takeaways imply: mine rules
+on one slice of the trace, predict the target on a held-out slice, and
+report the standard binary-classification metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.transactions import TransactionDatabase
+
+__all__ = ["ClassificationReport", "evaluate_predictions", "split_database"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClassificationReport:
+    """Confusion matrix plus the derived rates."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def n(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.n if self.n else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def base_rate(self) -> float:
+        """Positive share — the no-skill precision baseline."""
+        return (self.tp + self.fn) / self.n if self.n else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} base_rate={self.base_rate:.3f} "
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} accuracy={self.accuracy:.3f}"
+        )
+
+
+def evaluate_predictions(
+    predicted: np.ndarray, actual: np.ndarray
+) -> ClassificationReport:
+    """Confusion matrix of two boolean arrays."""
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError("predicted and actual must have the same shape")
+    return ClassificationReport(
+        tp=int((predicted & actual).sum()),
+        fp=int((predicted & ~actual).sum()),
+        tn=int((~predicted & ~actual).sum()),
+        fn=int((~predicted & actual).sum()),
+    )
+
+
+def split_database(
+    db: TransactionDatabase, train_fraction: float = 0.7, seed: int = 0
+) -> tuple[TransactionDatabase, TransactionDatabase]:
+    """Random train/test split of a transaction database.
+
+    The split is by transaction (job), with a shuffled permutation so
+    arrival-time structure does not leak across the boundary.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n = len(db)
+    order = np.random.default_rng(seed).permutation(n)
+    cut = int(round(train_fraction * n))
+    if cut == 0 or cut == n:
+        raise ValueError("split leaves an empty side; adjust train_fraction")
+    return db.sample(order[:cut].tolist()), db.sample(order[cut:].tolist())

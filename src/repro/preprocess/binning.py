@@ -1,0 +1,193 @@
+"""Discretisation of continuous job features (Sec. III-E).
+
+The paper bins continuous attributes by **equal-frequency quartiles**:
+
+* Bin1: [min, 25th percentile)
+* Bin2: [25th, median)
+* Bin3: [median, 75th percentile)
+* Bin4: [75th percentile, max]
+
+with two trace-specific refinements observed in the case studies:
+
+* a **zero bin** — "SM Util = 0%", "GMem Used = 0GB" — because exact zeros
+  are the phenomenon under study and must not be diluted into Bin1;
+* a **standard-value bin** ("Std") — when a single value covers a large
+  share of jobs (e.g. ~50 % of PAI jobs request exactly 600 CPU cores),
+  that value becomes its own bin and the quartiles are computed over the
+  remainder.
+
+Equal-width binning is provided for the ablation the paper discusses
+("this method does not work well because some features such as runtime
+have long tails").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+__all__ = ["BinningSpec", "Discretizer", "equal_frequency_edges", "equal_width_edges"]
+
+
+@dataclass(frozen=True, slots=True)
+class BinningSpec:
+    """How one continuous feature is discretised."""
+
+    scheme: Literal["equal_frequency", "equal_width"] = "equal_frequency"
+    n_bins: int = 4
+    #: label for exact zeros (e.g. "0%"); None disables the special bin
+    zero_label: str | None = None
+    #: label for a dominant exact value (e.g. "Std"); None disables detection
+    std_label: str | None = None
+    #: minimum share of (non-special) values a mode needs to become "Std"
+    std_threshold: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        if not 0.0 < self.std_threshold <= 1.0:
+            raise ValueError("std_threshold must be in (0, 1]")
+        if self.scheme not in ("equal_frequency", "equal_width"):
+            raise ValueError(f"unknown binning scheme {self.scheme!r}")
+
+
+def equal_frequency_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior quantile edges (deduplicated) for equal-frequency binning.
+
+    Returns at most ``n_bins - 1`` strictly increasing edges; heavy ties
+    can collapse edges, yielding fewer, wider bins — the correct behaviour
+    for near-constant features.
+    """
+    if values.size == 0:
+        return np.asarray([], dtype=np.float64)
+    qs = np.linspace(0, 1, n_bins + 1)[1:-1]
+    edges = np.quantile(values, qs)
+    return np.unique(edges)
+
+
+def equal_width_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Interior edges splitting [min, max] into *n_bins* equal intervals."""
+    if values.size == 0:
+        return np.asarray([], dtype=np.float64)
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        return np.asarray([], dtype=np.float64)
+    return np.linspace(lo, hi, n_bins + 1)[1:-1]
+
+
+class Discretizer:
+    """Fitted discretiser for one feature: values → bin labels.
+
+    ``fit`` learns the special values and edges; ``transform`` maps a
+    value array to labels (``None`` for NaN).  The fitted state is
+    inspectable (``edges``, ``std_value``, ``bin_ranges()``) so a system
+    operator can translate "Runtime = Bin1" back into seconds — the
+    interpretability contract of the paper.
+    """
+
+    def __init__(self, spec: BinningSpec = BinningSpec()):
+        self.spec = spec
+        self.edges: np.ndarray | None = None
+        self.std_value: float | None = None
+        self._fit_min: float | None = None
+        self._fit_max: float | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.edges is not None
+
+    def fit(self, values: Sequence[float] | np.ndarray) -> "Discretizer":
+        """Learn special bins and quantile/width edges from *values*."""
+        arr = np.asarray(values, dtype=np.float64)
+        arr = arr[~np.isnan(arr)]
+        spec = self.spec
+
+        remaining = arr
+        if spec.zero_label is not None:
+            remaining = remaining[remaining != 0.0]
+
+        self.std_value = None
+        if spec.std_label is not None and remaining.size:
+            uniq, counts = np.unique(remaining, return_counts=True)
+            mode_idx = int(np.argmax(counts))
+            if counts[mode_idx] / remaining.size >= spec.std_threshold:
+                self.std_value = float(uniq[mode_idx])
+                remaining = remaining[remaining != self.std_value]
+
+        if remaining.size:
+            self._fit_min = float(remaining.min())
+            self._fit_max = float(remaining.max())
+        else:
+            self._fit_min = self._fit_max = None
+
+        if spec.scheme == "equal_frequency":
+            if remaining.size:
+                qs = np.linspace(0, 1, spec.n_bins + 1)[1:-1]
+                # keep the *full* quantile edge list (no dedupe): when ties
+                # collapse quantiles (e.g. median queue delay = 0), bins keep
+                # their paper semantics — BinK is always the K-th quantile
+                # interval, and collapsed bins are simply never assigned
+                edges = np.quantile(remaining, qs)
+            else:
+                edges = np.asarray([], dtype=np.float64)
+        else:
+            edges = equal_width_edges(remaining, spec.n_bins)
+        self.edges = edges
+        return self
+
+    def transform(self, values: Sequence[float] | np.ndarray) -> list[str | None]:
+        """Map values to labels: zero/std specials, then "Bin1".."BinK"."""
+        if not self.is_fitted:
+            raise RuntimeError("Discretizer.transform called before fit")
+        arr = np.asarray(values, dtype=np.float64)
+        spec = self.spec
+        # right=True ⇒ value == edge goes to the *upper* bin, matching the
+        # paper's half-open [lower, upper) intervals with max included
+        bin_idx = np.searchsorted(self.edges, arr, side="right")
+        if self._fit_min is not None:
+            # heavy ties at the minimum can collapse low quantile edges onto
+            # it; the minimum always belongs to Bin1, never to a phantom
+            # upper bin sitting past the collapsed edges
+            bin_idx[arr == self._fit_min] = 0
+        labels: list[str | None] = []
+        for value, idx in zip(arr, bin_idx):
+            if np.isnan(value):
+                labels.append(None)
+            elif spec.zero_label is not None and value == 0.0:
+                labels.append(spec.zero_label)
+            elif self.std_value is not None and value == self.std_value:
+                labels.append(spec.std_label)
+            else:
+                labels.append(f"Bin{int(idx) + 1}")
+        return labels
+
+    def fit_transform(self, values: Sequence[float] | np.ndarray) -> list[str | None]:
+        return self.fit(values).transform(values)
+
+    def n_regular_bins(self) -> int:
+        """Number of Bin labels the fitted edges can produce."""
+        if not self.is_fitted:
+            raise RuntimeError("Discretizer not fitted")
+        return len(self.edges) + 1
+
+    def bin_ranges(self) -> dict[str, tuple[float, float]]:
+        """Label → (lower, upper) value range, for report footnotes.
+
+        Regular bins use the fitted min/max of the non-special values as
+        the outermost bounds; special bins map to degenerate ranges.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("Discretizer not fitted")
+        out: dict[str, tuple[float, float]] = {}
+        if self.spec.zero_label is not None:
+            out[self.spec.zero_label] = (0.0, 0.0)
+        if self.std_value is not None and self.spec.std_label is not None:
+            out[self.spec.std_label] = (self.std_value, self.std_value)
+        if self._fit_min is None:
+            return out
+        bounds = [self._fit_min, *self.edges.tolist(), self._fit_max]
+        for k in range(len(bounds) - 1):
+            out[f"Bin{k + 1}"] = (bounds[k], bounds[k + 1])
+        return out

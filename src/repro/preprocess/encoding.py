@@ -1,0 +1,204 @@
+"""Transactional (one-hot) encoding of a job table (Sec. III-E).
+
+:class:`TransactionEncoder` turns a :class:`~repro.dataframe.ColumnTable`
+into a :class:`~repro.core.transactions.TransactionDatabase`: every row
+becomes one transaction whose items are feature/value pairs —
+categorical values directly, continuous values through a fitted
+:class:`~repro.preprocess.binning.Discretizer`, booleans as presence
+flags.
+
+The encoder is fit/transform-shaped so the same fitted bin edges can be
+applied to a hold-out slice of the trace (used by the failure-prediction
+takeaway experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from ..core.items import Item, ItemVocabulary
+from ..core.transactions import TransactionDatabase
+from ..dataframe import (
+    BooleanColumn,
+    CategoricalColumn,
+    ColumnTable,
+    NumericColumn,
+)
+from .binning import BinningSpec, Discretizer
+
+__all__ = ["FeatureSpec", "TransactionEncoder"]
+
+_ABSENT = np.int32(np.iinfo(np.int32).max)
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureSpec:
+    """How one table column becomes items.
+
+    ``kind="auto"`` resolves from the column type: numeric → binned,
+    categorical → one item per value, boolean → flag.  ``item_feature``
+    overrides the display name ("gpu_sm_util" column → "SM Util" items).
+
+    ``kind="label"`` encodes a categorical column whose values are already
+    self-describing item names — each value becomes a bare flag item
+    ("Freq User", "Tensorflow"), matching how the paper renders such
+    attributes in its rule tables.
+    """
+
+    column: str
+    item_feature: str | None = None
+    kind: Literal["auto", "numeric", "categorical", "flag", "label"] = "auto"
+    binning: BinningSpec = field(default_factory=BinningSpec)
+    #: for flags: item text used when the value is True (default: feature name)
+    true_label: str | None = None
+
+    @property
+    def feature_name(self) -> str:
+        return self.item_feature if self.item_feature is not None else self.column
+
+
+class TransactionEncoder:
+    """Fit on a job table, transform rows into transactions.
+
+    Without explicit *specs*, every column is encoded under its own name
+    with default quartile binning.  Fitted discretisers are exposed via
+    ``discretizers`` / :meth:`bin_ranges` so bin labels remain
+    interpretable.
+    """
+
+    def __init__(self, specs: list[FeatureSpec] | None = None):
+        self.specs = specs
+        self.discretizers: dict[str, Discretizer] = {}
+        self._resolved: list[tuple[FeatureSpec, str]] = []  # (spec, resolved kind)
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    # -- fitting -----------------------------------------------------------------
+    def fit(self, table: ColumnTable) -> "TransactionEncoder":
+        specs = self.specs
+        if specs is None:
+            specs = [FeatureSpec(column=name) for name in table.column_names]
+        self._resolved = []
+        self.discretizers = {}
+        seen_features: set[str] = set()
+        for spec in specs:
+            column = table[spec.column]
+            kind = spec.kind
+            if kind == "auto":
+                if isinstance(column, NumericColumn):
+                    kind = "numeric"
+                elif isinstance(column, CategoricalColumn):
+                    kind = "categorical"
+                elif isinstance(column, BooleanColumn):
+                    kind = "flag"
+                else:  # pragma: no cover
+                    raise TypeError(f"cannot auto-encode column {spec.column!r}")
+            name = spec.feature_name
+            if kind != "label":
+                # label columns mint one feature per value; uniqueness is
+                # enforced per item at transform time instead
+                if name in seen_features:
+                    raise ValueError(f"duplicate item feature name {name!r}")
+                seen_features.add(name)
+            if kind == "numeric":
+                if not isinstance(column, NumericColumn):
+                    raise TypeError(f"column {spec.column!r} is not numeric")
+                self.discretizers[spec.column] = Discretizer(spec.binning).fit(
+                    column.values
+                )
+            self._resolved.append((spec, kind))
+        self._fitted = True
+        return self
+
+    # -- transform ----------------------------------------------------------------
+    def transform(
+        self,
+        table: ColumnTable,
+        vocabulary: ItemVocabulary | None = None,
+    ) -> TransactionDatabase:
+        """Encode *table* rows into a transaction database.
+
+        Missing values simply contribute no item — a job with no GPU
+        telemetry still forms a transaction from its scheduler features.
+        """
+        if not self._fitted:
+            raise RuntimeError("TransactionEncoder.transform called before fit")
+        vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        n_rows = len(table)
+        id_columns: list[np.ndarray] = []
+
+        for spec, kind in self._resolved:
+            column = table[spec.column]
+            feature = spec.feature_name
+            ids = np.full(n_rows, _ABSENT, dtype=np.int32)
+            if kind in ("categorical", "label"):
+                if not isinstance(column, CategoricalColumn):
+                    raise TypeError(f"column {spec.column!r} is not categorical")
+                if kind == "categorical":
+                    items = [Item(feature, cat) for cat in column.categories]
+                else:
+                    items = [Item.flag(cat) for cat in column.categories]
+                code_to_id = np.asarray(
+                    [vocab.intern(item) for item in items], dtype=np.int32
+                )
+                present = column.codes >= 0
+                if code_to_id.size:
+                    ids[present] = code_to_id[column.codes[present]]
+            elif kind == "numeric":
+                if not isinstance(column, NumericColumn):
+                    raise TypeError(f"column {spec.column!r} is not numeric")
+                labels = self.discretizers[spec.column].transform(column.values)
+                label_ids = {
+                    label: vocab.intern(Item(feature, label))
+                    for label in sorted({l for l in labels if l is not None})
+                }
+                for row, label in enumerate(labels):
+                    if label is not None:
+                        ids[row] = label_ids[label]
+            elif kind == "flag":
+                if isinstance(column, BooleanColumn):
+                    truth = column.values
+                elif isinstance(column, NumericColumn):
+                    truth = (column.values == 1.0) & ~np.isnan(column.values)
+                else:
+                    raise TypeError(f"column {spec.column!r} cannot be a flag")
+                label = spec.true_label if spec.true_label is not None else feature
+                item_id = vocab.intern(Item.flag(label))
+                ids[truth] = item_id
+            else:  # pragma: no cover
+                raise AssertionError(kind)
+            id_columns.append(ids)
+
+        if not id_columns:
+            return TransactionDatabase(
+                vocab,
+                np.zeros(n_rows + 1, dtype=np.int64),
+                np.asarray([], dtype=np.int32),
+            )
+
+        # rows × features id matrix → CSR with per-row sorted ids
+        matrix = np.stack(id_columns, axis=1)
+        present = matrix != _ABSENT
+        counts = present.sum(axis=1)
+        sorted_rows = np.sort(matrix, axis=1)
+        flat = sorted_rows[sorted_rows != _ABSENT]
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return TransactionDatabase(vocab, indptr, flat.astype(np.int32))
+
+    def fit_transform(
+        self, table: ColumnTable, vocabulary: ItemVocabulary | None = None
+    ) -> TransactionDatabase:
+        return self.fit(table).transform(table, vocabulary)
+
+    # -- interpretability ----------------------------------------------------------
+    def bin_ranges(self) -> dict[str, dict[str, tuple[float, float]]]:
+        """column name → (bin label → numeric range) for every fitted feature."""
+        return {
+            column: disc.bin_ranges() for column, disc in self.discretizers.items()
+        }

@@ -1,0 +1,44 @@
+"""Skew filtering (Sec. III-E, third paragraph).
+
+Items present in almost every transaction produce floods of uninteresting
+frequent itemsets ("if 90% of jobs have requested a single GPU … most
+frequent itemsets would include the item 'single GPU'").  The paper drops
+items whose share exceeds 80 %; the complementary rare side is handled by
+the min-support threshold itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.items import Item
+from ..core.transactions import TransactionDatabase
+
+__all__ = ["drop_skewed_items", "skewed_item_ids"]
+
+
+def skewed_item_ids(db: TransactionDatabase, max_share: float = 0.8) -> list[int]:
+    """Ids of items present in more than *max_share* of transactions."""
+    if not 0.0 < max_share <= 1.0:
+        raise ValueError("max_share must be in (0, 1]")
+    n = len(db)
+    if n == 0:
+        return []
+    counts = db.item_support_counts()
+    return [int(i) for i in np.flatnonzero(counts / n > max_share)]
+
+
+def drop_skewed_items(
+    db: TransactionDatabase, max_share: float = 0.8
+) -> tuple[TransactionDatabase, list[Item]]:
+    """Remove over-represented items; returns (filtered db, dropped items).
+
+    Transactions are kept (possibly emptied) so |D| — and therefore every
+    support value — is unchanged.
+    """
+    skewed = set(skewed_item_ids(db, max_share))
+    if not skewed:
+        return db, []
+    keep = [i for i in range(db.n_items) if i not in skewed]
+    dropped = [db.vocabulary.item_of(i) for i in sorted(skewed)]
+    return db.restrict_items(keep), dropped

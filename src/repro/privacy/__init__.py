@@ -1,0 +1,5 @@
+"""Privacy-preserving mining (Sec. VI integration point)."""
+
+from .dp import DPConfig, DPMiningResult, dp_mine_frequent_itemsets, recovery_f1
+
+__all__ = ["DPConfig", "DPMiningResult", "dp_mine_frequent_itemsets", "recovery_f1"]

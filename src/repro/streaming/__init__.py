@@ -1,0 +1,5 @@
+"""Streaming mining over sliding windows of monitoring events."""
+
+from .window import SlidingWindowMiner
+
+__all__ = ["SlidingWindowMiner"]

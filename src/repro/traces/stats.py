@@ -1,0 +1,104 @@
+"""Descriptive trace characterisation.
+
+Trace-analysis papers (this one's Sec. II plus the studies it cites)
+open with descriptive statistics before any mining: job counts, user
+activity concentration, utilisation and runtime distributions, failure
+shares.  This module computes that overview for any job table with the
+standard column names, backing Table I and sanity checks in benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataframe import ColumnTable, value_counts
+
+__all__ = ["TraceStats", "characterize", "gini"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = skewed).
+
+    Used on per-user job counts: production traces show high submission
+    concentration (the basis of the "frequent user" tier).
+    """
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("gini of an empty sample")
+    if (arr < 0).any():
+        raise ValueError("gini requires non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 0.0
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * arr).sum() / (n * total)) - (n + 1.0) / n)
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStats:
+    """One trace's descriptive overview."""
+
+    n_jobs: int
+    n_users: int
+    user_gini: float
+    status_shares: dict[str, float]
+    sm_util_zero_share: float
+    runtime_median_s: float
+    runtime_p90_s: float
+    queue_median_s: float
+    gpu_request_mean: float
+
+    def render(self) -> str:
+        statuses = ", ".join(
+            f"{k}: {v:.1%}" for k, v in sorted(self.status_shares.items())
+        )
+        return "\n".join(
+            [
+                f"jobs            : {self.n_jobs}",
+                f"users           : {self.n_users} (gini {self.user_gini:.2f})",
+                f"exit status     : {statuses}",
+                f"SM util = 0%    : {self.sm_util_zero_share:.1%}",
+                f"runtime         : median {self.runtime_median_s:.0f}s, "
+                f"p90 {self.runtime_p90_s:.0f}s",
+                f"queue delay     : median {self.queue_median_s:.0f}s",
+                f"mean GPU request: {self.gpu_request_mean:.2f}",
+            ]
+        )
+
+
+def characterize(table: ColumnTable) -> TraceStats:
+    """Compute the descriptive overview of a job table.
+
+    Requires ``user``, ``status``, ``sm_util``, ``runtime`` and
+    ``queue_delay`` columns; ``n_gpus`` is optional (defaults to 1 per
+    job, the SuperCloud case).
+    """
+    for required in ("user", "status", "sm_util", "runtime", "queue_delay"):
+        if required not in table:
+            raise ValueError(f"characterize needs a {required!r} column")
+    per_user = np.asarray([count for _, count in value_counts(table, "user")])
+    statuses = Counter(table["status"].to_list())
+    n = len(table)
+    sm = table["sm_util"].values
+    runtime = table["runtime"].values
+    queue = table["queue_delay"].values
+    if "n_gpus" in table:
+        gpu_mean = float(np.nanmean(table["n_gpus"].values))
+    else:
+        gpu_mean = 1.0
+    return TraceStats(
+        n_jobs=n,
+        n_users=int(per_user.size),
+        user_gini=gini(per_user),
+        status_shares={k: v / n for k, v in statuses.items()},
+        sm_util_zero_share=float(np.mean(sm == 0)),
+        runtime_median_s=float(np.nanmedian(runtime)),
+        runtime_p90_s=float(np.nanquantile(runtime, 0.9)),
+        queue_median_s=float(np.nanmedian(queue)),
+        gpu_request_mean=gpu_mean,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic trace generators with planted associations (DESIGN.md §2)."""
+
+from .base import Archetype, ArchetypeMixer
+from .pai import PAI_KEYWORDS, PAIConfig, generate_pai, pai_preprocessor
+from .philly import PHILLY_KEYWORDS, PhillyConfig, generate_philly, philly_preprocessor
+from .supercloud import (
+    SUPERCLOUD_KEYWORDS,
+    SuperCloudConfig,
+    generate_supercloud,
+    supercloud_preprocessor,
+)
+
+__all__ = [
+    "Archetype",
+    "ArchetypeMixer",
+    "PAIConfig",
+    "generate_pai",
+    "pai_preprocessor",
+    "PAI_KEYWORDS",
+    "SuperCloudConfig",
+    "generate_supercloud",
+    "supercloud_preprocessor",
+    "SUPERCLOUD_KEYWORDS",
+    "PhillyConfig",
+    "generate_philly",
+    "philly_preprocessor",
+    "PHILLY_KEYWORDS",
+]

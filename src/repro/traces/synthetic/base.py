@@ -1,0 +1,214 @@
+"""Shared machinery for the synthetic trace generators.
+
+Association rule mining only observes the joint distribution of one-hot
+items, so a generator that plants the paper's conditional probabilities
+reproduces the paper's rule *shapes* (which antecedents imply which
+consequents, the ordering of lifts) — the substitution argument recorded
+in DESIGN.md.
+
+Each trace generator defines a set of :class:`Archetype` objects — latent
+job classes like "debug/template job" or "distributed flaky job" — whose
+mixture induces the associations.  The machinery here handles:
+
+* archetype sampling with per-user modifiers (new users skew toward
+  debug-style archetypes);
+* heavy-tailed runtime draws (log-normal, the standard fit for cluster
+  job runtimes);
+* self-calibrating arrival processes: the submission window is derived
+  from total GPU demand and a target utilisation, so scheduler-produced
+  queue delays are meaningful at any generated scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ...cluster.job import JobRequest, JobStatus
+from ...cluster.users import UserPopulation, UserProfile
+
+__all__ = [
+    "Archetype",
+    "ArchetypeMixer",
+    "lognormal_runtime",
+    "categorical_choice",
+    "status_choice",
+    "poisson_arrivals",
+    "calibrated_duration",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Archetype:
+    """A latent job class: mixture weight + a sampler for its jobs.
+
+    ``sampler(rng, user, job_id) -> JobRequest`` draws one job of this
+    class (submit_time left 0; arrival assignment happens afterwards).
+    ``new_user_multiplier`` scales this archetype's weight for new users,
+    planting the user-tenure associations of the case studies.
+    """
+
+    name: str
+    weight: float
+    sampler: Callable[[np.random.Generator, UserProfile, int], JobRequest]
+    new_user_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("archetype weight must be >= 0")
+        if self.new_user_multiplier < 0:
+            raise ValueError("new_user_multiplier must be >= 0")
+
+
+class ArchetypeMixer:
+    """Samples jobs from an archetype mixture over a user population."""
+
+    def __init__(
+        self,
+        archetypes: Sequence[Archetype],
+        users: UserPopulation,
+        seed: int = 0,
+    ):
+        if not archetypes:
+            raise ValueError("at least one archetype is required")
+        total = sum(a.weight for a in archetypes)
+        if total <= 0:
+            raise ValueError("archetype weights must sum to > 0")
+        self.archetypes = list(archetypes)
+        self.users = users
+        self.rng = np.random.default_rng(seed)
+        self._base_weights = np.asarray([a.weight / total for a in archetypes])
+        self._new_weights = self._base_weights * np.asarray(
+            [a.new_user_multiplier for a in archetypes]
+        )
+        new_total = self._new_weights.sum()
+        if new_total <= 0:
+            raise ValueError("new-user archetype weights must sum to > 0")
+        self._new_weights = self._new_weights / new_total
+
+    def sample_jobs(self, n_jobs: int) -> list[JobRequest]:
+        """Draw *n_jobs* (archetype, user) pairs and run the samplers."""
+        users = self.users.sample(n_jobs, self.rng)
+        jobs: list[JobRequest] = []
+        k = len(self.archetypes)
+        for job_id, user in enumerate(users):
+            weights = self._new_weights if user.is_new else self._base_weights
+            arch = self.archetypes[int(self.rng.choice(k, p=weights))]
+            job = arch.sampler(self.rng, user, job_id)
+            job.extras.setdefault("archetype", arch.name)
+            jobs.append(job)
+        return jobs
+
+
+def lognormal_runtime(
+    rng: np.random.Generator,
+    median_s: float,
+    sigma: float = 1.0,
+    min_s: float = 5.0,
+    max_s: float | None = None,
+) -> float:
+    """Heavy-tailed runtime draw around a median, clamped to [min, max]."""
+    value = float(rng.lognormal(np.log(median_s), sigma))
+    if max_s is not None:
+        value = min(value, max_s)
+    return max(value, min_s)
+
+
+def categorical_choice(
+    rng: np.random.Generator, options: dict[Any, float]
+) -> Any:
+    """Weighted choice from a {label: weight} dict (weights normalised)."""
+    labels = list(options)
+    weights = np.asarray([options[l] for l in labels], dtype=np.float64)
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("choice weights must sum to > 0")
+    return labels[int(rng.choice(len(labels), p=weights / total))]
+
+
+def status_choice(
+    rng: np.random.Generator,
+    p_failed: float,
+    p_killed: float = 0.0,
+) -> JobStatus:
+    """Draw a terminal status from failure/kill probabilities."""
+    if p_failed + p_killed > 1.0 + 1e-9:
+        raise ValueError("p_failed + p_killed must be <= 1")
+    u = rng.random()
+    if u < p_failed:
+        return JobStatus.FAILED
+    if u < p_failed + p_killed:
+        return JobStatus.KILLED
+    return JobStatus.COMPLETED
+
+
+def calibrated_duration(
+    jobs: Sequence[JobRequest], total_gpus: int, target_utilization: float = 0.75
+) -> float:
+    """Submission-window length that hits a target mean GPU utilisation.
+
+    ``sum(gpus × runtime) / (total_gpus × duration) = target`` — solving
+    for duration keeps contention (and hence queue-delay structure)
+    scale-invariant when the generated job count changes.
+    """
+    if total_gpus <= 0:
+        raise ValueError("total_gpus must be > 0")
+    if not 0.0 < target_utilization <= 1.0:
+        raise ValueError("target_utilization must be in (0, 1]")
+    demand = sum(max(j.n_gpus, 1) * j.runtime for j in jobs)
+    return demand / (total_gpus * target_utilization)
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, jobs: Sequence[JobRequest], duration_s: float
+) -> None:
+    """Assign uniform-order-statistics submit times over [0, duration].
+
+    (For a Poisson process conditioned on its count, arrival times are
+    uniform order statistics — cheaper than summing exponential gaps.)
+    """
+    times = np.sort(rng.uniform(0.0, duration_s, size=len(jobs)))
+    for job, t in zip(jobs, times):
+        job.submit_time = float(t)
+
+
+def diurnal_arrivals(
+    rng: np.random.Generator,
+    jobs: Sequence[JobRequest],
+    duration_s: float,
+    peak_ratio: float = 3.0,
+    peak_hour: float = 15.0,
+) -> None:
+    """Assign submit times with a day/night intensity cycle.
+
+    Production submission rates follow working hours; modelling them as a
+    sinusoidal non-homogeneous Poisson process with peak-to-trough ratio
+    *peak_ratio* (peak at *peak_hour* local time) reproduces the diurnal
+    queue-delay structure trace studies report.  Sampling is by thinning:
+    uniform candidates are accepted with probability λ(t)/λmax.
+    """
+    if peak_ratio < 1.0:
+        raise ValueError("peak_ratio must be >= 1")
+    if not jobs:
+        return
+    day = 86_400.0
+    amplitude = (peak_ratio - 1.0) / (peak_ratio + 1.0)
+    phase = 2.0 * np.pi * peak_hour / 24.0
+
+    def intensity(t: np.ndarray) -> np.ndarray:
+        return 1.0 + amplitude * np.cos(2.0 * np.pi * t / day - phase)
+
+    accepted: list[np.ndarray] = []
+    need = len(jobs)
+    lam_max = 1.0 + amplitude
+    while need > 0:
+        candidates = rng.uniform(0.0, duration_s, size=max(2 * need, 64))
+        keep = rng.uniform(0.0, lam_max, size=candidates.size) < intensity(candidates)
+        batch = candidates[keep][:need]
+        accepted.append(batch)
+        need -= batch.size
+    times = np.sort(np.concatenate(accepted))
+    for job, t in zip(jobs, times):
+        job.submit_time = float(t)

@@ -1,0 +1,20 @@
+"""Text-based figure substrate: the data behind Figs. 1–5, plus rendering."""
+
+from .ascii import bar_chart, box_chart, cdf_chart, series_table
+from .boxstats import BoxStats, box_stats
+from .cdf import CDF, empirical_cdf
+from .scatter import RuleScatter, pruning_scatter, rule_scatter
+
+__all__ = [
+    "CDF",
+    "empirical_cdf",
+    "BoxStats",
+    "box_stats",
+    "RuleScatter",
+    "rule_scatter",
+    "pruning_scatter",
+    "bar_chart",
+    "cdf_chart",
+    "box_chart",
+    "series_table",
+]

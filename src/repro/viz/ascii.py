@@ -1,0 +1,79 @@
+"""Terminal rendering of the figure data (no plotting dependencies).
+
+Benchmarks and examples print figures as aligned text: bar charts for the
+exit-status distribution (Fig. 5), a staircase for the SM-util CDF
+(Fig. 4), and box summaries (Fig. 2).  The rendering is intentionally
+simple; the *data* behind each figure is what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from .boxstats import BoxStats
+from .cdf import CDF
+
+__all__ = ["bar_chart", "cdf_chart", "box_chart", "series_table"]
+
+_BAR = "█"
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.1%}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart of label → value."""
+    if not data:
+        return title or ""
+    label_w = max(len(str(k)) for k in data)
+    peak = max(data.values()) or 1.0
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = _BAR * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(f"{str(label).ljust(label_w)} | {bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    cdf: CDF, points: Sequence[float], width: int = 40, title: str | None = None
+) -> str:
+    """CDF sampled at chosen x points, rendered as bars."""
+    data = {f"≤{p:g}": cdf.at(p) for p in points}
+    return bar_chart(data, width=width, title=title)
+
+
+def box_chart(stats: Mapping[str, BoxStats], title: str | None = None) -> str:
+    """Aligned table of box statistics per group."""
+    lines = [title] if title else []
+    lines.append(
+        f"{'group':<14} {'min':>8} {'q1':>8} {'median':>8} {'q3':>8} {'max':>8}  n"
+    )
+    for name, s in stats.items():
+        lines.append(
+            f"{name:<14} {s.minimum:>8.3f} {s.q1:>8.3f} {s.median:>8.3f} "
+            f"{s.q3:>8.3f} {s.maximum:>8.3f}  {s.n}"
+        )
+    return "\n".join(lines)
+
+
+def series_table(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Numeric series as a column table (e.g. Fig. 1's support sweep)."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch with x values")
+    lines = [title] if title else []
+    header = [x_label.ljust(12)] + [name.rjust(12) for name in series]
+    lines.append(" ".join(header))
+    for i, x in enumerate(x_values):
+        row = [f"{x!s:<12}"] + [
+            f"{series[name][i]:>12g}" for name in series
+        ]
+        lines.append(" ".join(row))
+    return "\n".join(lines)

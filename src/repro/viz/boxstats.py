@@ -1,0 +1,71 @@
+"""Box-plot statistics (Fig. 2: confidence/lift dispersion across traces)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BoxStats", "box_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class BoxStats:
+    """The five-number summary a box plot draws, plus whisker bounds.
+
+    Whiskers follow the Tukey convention (1.5 × IQR, clipped to data);
+    points outside are outliers.
+    """
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    n: int
+    n_outliers: int
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+            "n": float(self.n),
+            "n_outliers": float(self.n_outliers),
+        }
+
+
+def box_stats(values) -> BoxStats:
+    """Compute box-plot statistics of a sample (NaNs dropped)."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        raise ValueError("box_stats of an empty sample")
+    q1, median, q3 = (float(q) for q in np.quantile(arr, [0.25, 0.5, 0.75]))
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= low_fence) & (arr <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else q1
+    whisker_high = float(inside.max()) if inside.size else q3
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=float(arr.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        n=int(arr.size),
+        n_outliers=int(arr.size - inside.size),
+    )

@@ -1,0 +1,47 @@
+"""Empirical CDFs (Fig. 4: GPU SM-utilisation distribution per trace)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CDF", "empirical_cdf"]
+
+
+@dataclass(frozen=True, slots=True)
+class CDF:
+    """An empirical CDF: sorted support points and cumulative fractions."""
+
+    values: np.ndarray
+    fractions: np.ndarray
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        idx = np.searchsorted(self.values, x, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.fractions[idx - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest value v with P(X <= v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        idx = int(np.searchsorted(self.fractions, q, side="left"))
+        idx = min(idx, len(self.values) - 1)
+        return float(self.values[idx])
+
+    def share_at_most(self, x: float) -> float:
+        """Alias of :meth:`at`, reads better for 'near-zero share' checks."""
+        return self.at(x)
+
+
+def empirical_cdf(values: np.ndarray) -> CDF:
+    """Build the ECDF of a sample (NaNs dropped)."""
+    arr = np.asarray(values, dtype=np.float64)
+    arr = np.sort(arr[~np.isnan(arr)])
+    if arr.size == 0:
+        raise ValueError("empirical_cdf of an empty sample")
+    uniq, counts = np.unique(arr, return_counts=True)
+    fractions = np.cumsum(counts) / arr.size
+    return CDF(values=uniq, fractions=fractions)

@@ -1,0 +1,44 @@
+"""Rule scatter data (Fig. 3: support × lift, before vs after pruning)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import AssociationRule
+
+__all__ = ["RuleScatter", "rule_scatter", "pruning_scatter"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuleScatter:
+    """Point cloud of rules in (support, lift[, confidence]) space."""
+
+    support: np.ndarray
+    lift: np.ndarray
+    confidence: np.ndarray
+
+    def __len__(self) -> int:
+        return self.support.shape[0]
+
+    def lift_histogram(self, bins: int = 10) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of lift values — the reduction Fig. 3 visualises is
+        concentrated at low lift."""
+        return np.histogram(self.lift, bins=bins)
+
+
+def rule_scatter(rules: list[AssociationRule]) -> RuleScatter:
+    """Extract scatter coordinates from a rule list."""
+    return RuleScatter(
+        support=np.asarray([r.support for r in rules], dtype=np.float64),
+        lift=np.asarray([r.lift for r in rules], dtype=np.float64),
+        confidence=np.asarray([r.confidence for r in rules], dtype=np.float64),
+    )
+
+
+def pruning_scatter(
+    before: list[AssociationRule], after: list[AssociationRule]
+) -> dict[str, RuleScatter]:
+    """The two panels of Fig. 3."""
+    return {"before": rule_scatter(before), "after": rule_scatter(after)}

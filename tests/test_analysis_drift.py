@@ -1,0 +1,81 @@
+"""Tests for rule-drift diffing."""
+
+import pytest
+
+from repro.analysis.drift import RuleDrift, diff_rules
+from repro.core import Item
+from repro.core.rules import AssociationRule
+
+IDS = {"a": 0, "b": 1, "K": 2, "c": 3}
+
+
+def rule(ant, cons, lift=2.0, conf=0.5, supp=0.1):
+    return AssociationRule(
+        antecedent=frozenset(Item.flag(t) for t in ant),
+        consequent=frozenset(Item.flag(t) for t in cons),
+        antecedent_ids=frozenset(IDS[t] for t in ant),
+        consequent_ids=frozenset(IDS[t] for t in cons),
+        support=supp,
+        confidence=conf,
+        lift=lift,
+        leverage=0.0,
+        conviction=1.0,
+    )
+
+
+class TestDiffRules:
+    def test_identical_sets_stable(self):
+        rules = [rule(["a"], ["K"]), rule(["b"], ["K"])]
+        drift = diff_rules(rules, rules)
+        assert drift.is_stable
+        assert len(drift.changed) == 2
+        assert all(c.lift_delta == 0.0 for c in drift.changed)
+
+    def test_appeared_and_disappeared(self):
+        before = [rule(["a"], ["K"])]
+        after = [rule(["b"], ["K"])]
+        drift = diff_rules(before, after)
+        assert [str(r) for r in drift.appeared] == [str(after[0])]
+        assert [str(r) for r in drift.disappeared] == [str(before[0])]
+        assert not drift.is_stable
+
+    def test_metric_movement_tracked(self):
+        before = [rule(["a"], ["K"], lift=2.0, conf=0.4)]
+        after = [rule(["a"], ["K"], lift=3.0, conf=0.6)]
+        drift = diff_rules(before, after)
+        change = drift.changed[0]
+        assert change.lift_delta == pytest.approx(1.0)
+        assert change.confidence_delta == pytest.approx(0.2)
+
+    def test_strengthened_weakened_thresholds(self):
+        before = [
+            rule(["a"], ["K"], lift=2.0),
+            rule(["b"], ["K"], lift=4.0),
+            rule(["c"], ["K"], lift=3.0),
+        ]
+        after = [
+            rule(["a"], ["K"], lift=3.5),   # +1.5
+            rule(["b"], ["K"], lift=2.0),   # -2.0
+            rule(["c"], ["K"], lift=3.1),   # +0.1 (below threshold)
+        ]
+        drift = diff_rules(before, after)
+        assert [c.after.lift for c in drift.strengthened(0.5)] == [3.5]
+        assert [c.after.lift for c in drift.weakened(0.5)] == [2.0]
+
+    def test_direction_matters_in_identity(self):
+        # a ⇒ K and K ⇒ a are different rules
+        before = [rule(["a"], ["K"])]
+        after = [rule(["K"], ["a"])]
+        drift = diff_rules(before, after)
+        assert len(drift.appeared) == 1
+        assert len(drift.disappeared) == 1
+
+    def test_render_smoke(self):
+        drift = diff_rules([rule(["a"], ["K"])], [rule(["b"], ["K"], lift=5.0)])
+        text = drift.render()
+        assert "appeared" in text and "disappeared" in text
+
+    def test_empty_sets(self):
+        drift = diff_rules([], [])
+        assert drift.is_stable
+        assert drift.changed == []

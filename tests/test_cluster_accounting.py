@@ -1,0 +1,136 @@
+"""Tests for cluster utilisation accounting + naive Apriori baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, FCFSScheduler, JobRequest, NodeSpec, build_nodes
+from repro.cluster.accounting import busy_gpu_timeline, utilization_by_type
+from repro.core import TransactionDatabase, fpgrowth
+from repro.core.apriori import apriori_naive
+
+
+def _cluster():
+    return ClusterSpec.of(
+        (NodeSpec("a", "V100", 2, 32, 128), 1),
+        (NodeSpec("b", "T4", 2, 32, 128), 1),
+    )
+
+
+def _job(job_id, submit, runtime, gpu_type, n_gpus=1):
+    return JobRequest(
+        job_id=job_id, user="u", submit_time=submit, runtime=runtime,
+        n_gpus=n_gpus, n_cpus=1, mem_gb=1.0, gpu_type=gpu_type,
+    )
+
+
+class TestUtilization:
+    def test_single_job_full_pool(self):
+        cluster = _cluster()
+        placements, _ = FCFSScheduler(build_nodes(cluster)).run(
+            [_job(0, 0.0, 100.0, "V100", n_gpus=2)]
+        )
+        util = utilization_by_type(placements, cluster)
+        assert util["V100"].utilization == pytest.approx(1.0)
+        assert util["T4"].utilization == 0.0
+        assert util["V100"].gpu_seconds_used == pytest.approx(200.0)
+
+    def test_mixed_pools(self):
+        cluster = _cluster()
+        placements, _ = FCFSScheduler(build_nodes(cluster)).run(
+            [
+                _job(0, 0.0, 100.0, "V100", n_gpus=1),
+                _job(1, 0.0, 50.0, "T4", n_gpus=2),
+            ]
+        )
+        util = utilization_by_type(placements, cluster, interval_s=100.0)
+        assert util["V100"].utilization == pytest.approx(0.5)
+        assert util["T4"].utilization == pytest.approx(0.5)
+
+    def test_empty_placements(self):
+        util = utilization_by_type([], _cluster())
+        assert all(u.utilization == 0.0 for u in util.values())
+
+    def test_calibrated_generation_hits_target(self):
+        """Closing the loop: the PAI generator's congestion target is
+        approximately achieved on the binding pools."""
+        from repro.cluster import ClusterSimulator, TelemetryConfig
+        from repro.traces.synthetic.pai import (
+            PAIConfig, _pai_archetypes, _pai_cluster,
+        )
+        from repro.traces.synthetic.base import (
+            ArchetypeMixer, calibrated_duration, poisson_arrivals,
+        )
+        from repro.cluster import UserPopulation
+
+        config = PAIConfig(n_jobs=4000)
+        users = UserPopulation(config.n_users, seed=config.seed)
+        jobs = ArchetypeMixer(_pai_archetypes(), users, seed=config.seed).sample_jobs(
+            config.n_jobs
+        )
+        cluster = _pai_cluster()
+        for job in jobs:
+            if job.gpu_type is None:
+                job.gpu_type = "MISC"
+            job.n_cpus = min(job.n_cpus, 90)
+            job.mem_gb = min(job.mem_gb, 256.0)
+        binding = sum(
+            n for t, n in cluster.gpus_by_type().items() if t in ("V100", "P100")
+        )
+        duration = calibrated_duration(jobs, binding, config.congestion)
+        poisson_arrivals(np.random.default_rng(1), jobs, duration)
+        sim = ClusterSimulator(cluster, TelemetryConfig(max_samples_per_job=8), seed=2)
+        result = sim.run(jobs)
+
+        from repro.cluster.scheduler import Placement  # placements via rerun
+        scheduler_placements, _ = FCFSScheduler(build_nodes(cluster)).run(jobs)
+        util = utilization_by_type(scheduler_placements, cluster, interval_s=duration)
+        combined = (
+            util["V100"].gpu_seconds_used + util["P100"].gpu_seconds_used
+        ) / (binding * duration)
+        # calibration counts all demand against the binding pools, so the
+        # achieved value sits below the target but in its vicinity
+        assert 0.35 <= combined <= 1.0
+
+
+class TestTimeline:
+    def test_difference_array_counts(self):
+        cluster = _cluster()
+        placements, _ = FCFSScheduler(build_nodes(cluster)).run(
+            [
+                _job(0, 0.0, 100.0, "V100", n_gpus=2),
+                _job(1, 0.0, 50.0, "T4", n_gpus=1),
+            ]
+        )
+        times, busy = busy_gpu_timeline(placements, resolution_s=25.0)
+        assert busy[0] == 3.0  # both jobs active at t=0
+        assert busy[-1] in (0.0, 2.0)  # tail of the longer job
+        assert busy.max() == 3.0
+
+    def test_empty(self):
+        times, busy = busy_gpu_timeline([])
+        assert busy.tolist() == [0.0]
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            busy_gpu_timeline([], resolution_s=0.0)
+
+
+class TestNaiveApriori:
+    def test_matches_fpgrowth(self, toy_db):
+        for min_support in (0.2, 0.4, 0.8):
+            assert apriori_naive(toy_db, min_support) == fpgrowth(
+                toy_db, min_support
+            )
+
+    def test_max_len(self, toy_db):
+        result = apriori_naive(toy_db, 0.2, max_len=2)
+        assert result == fpgrowth(toy_db, 0.2, 2)
+
+    def test_empty(self):
+        assert apriori_naive(TransactionDatabase.from_itemsets([]), 0.5) == {}
+
+    def test_invalid_args(self, toy_db):
+        with pytest.raises(ValueError):
+            apriori_naive(toy_db, 2.0)
+        with pytest.raises(ValueError):
+            apriori_naive(toy_db, 0.5, 0)

@@ -1,0 +1,191 @@
+"""Tests for failure injection and the SJF scheduling policy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    FailureModel,
+    FCFSScheduler,
+    JobRequest,
+    JobStatus,
+    NodeSpec,
+    apply_time_limit,
+    build_nodes,
+    inject_node_failures,
+)
+
+
+def job(job_id, submit, runtime, n_gpus=1):
+    return JobRequest(
+        job_id=job_id, user="u", submit_time=submit, runtime=runtime,
+        n_gpus=n_gpus, n_cpus=1, mem_gb=1.0, gpu_type="V100",
+    )
+
+
+def nodes(n_gpus=1, count=1):
+    return build_nodes(
+        ClusterSpec.of((NodeSpec("n", "V100", n_gpus, 32, 128), count))
+    )
+
+
+class TestTimeLimits:
+    def test_clamps_and_fails_over_limit(self):
+        jobs = [job(0, 0.0, 100.0), job(1, 0.0, 10.0)]
+        clamped = apply_time_limit(jobs, 50.0)
+        assert clamped == 1
+        assert jobs[0].runtime == 50.0
+        assert jobs[0].status is JobStatus.FAILED
+        assert jobs[0].extras["failure_cause"] == "time_limit"
+        assert jobs[1].status is JobStatus.COMPLETED
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            apply_time_limit([], 0.0)
+
+    def test_simulator_integration(self):
+        cluster = ClusterSpec.of((NodeSpec("n", "V100", 4, 32, 128), 2))
+        jobs = [job(i, 0.0, 1000.0 if i % 2 else 10.0) for i in range(8)]
+        sim = ClusterSimulator(
+            cluster, seed=1, failures=FailureModel(time_limit_s=100.0)
+        )
+        table = sim.run(jobs).to_table()
+        statuses = table["status"].to_list()
+        runtimes = table["runtime"].values
+        for i in range(8):
+            if i % 2:
+                assert statuses[i] == "failed"
+                assert runtimes[i] == pytest.approx(100.0)
+            else:
+                assert statuses[i] == "completed"
+
+    def test_timeouts_produce_long_runtime_failures(self):
+        """The SuperCloud Table VI A2 mechanism: failures at the runtime
+        ceiling, not shortly after launch."""
+        cluster = ClusterSpec.of((NodeSpec("n", "V100", 8, 64, 256), 4))
+        rng = np.random.default_rng(0)
+        jobs = [
+            job(i, float(rng.uniform(0, 1e4)), float(rng.lognormal(8, 1.5)))
+            for i in range(300)
+        ]
+        sim = ClusterSimulator(
+            cluster, seed=1, failures=FailureModel(time_limit_s=40_000.0)
+        )
+        table = sim.run(jobs).to_table()
+        failed = np.asarray([s == "failed" for s in table["status"].to_list()])
+        rt = table["runtime"].values
+        assert failed.any()
+        # every injected failure sits exactly at the ceiling — the top of
+        # the runtime distribution
+        assert rt[failed].min() >= np.quantile(rt, 0.75)
+
+
+class TestNodeFailures:
+    def test_job_overlapping_failure_is_killed(self):
+        model = FailureModel(node_mtbf_s=500.0, node_repair_s=100.0, seed=4)
+        sched = FCFSScheduler(nodes(n_gpus=4))
+        jobs = [job(i, 0.0, 5000.0) for i in range(4)]
+        placements, _ = sched.run(jobs)
+        killed = inject_node_failures(placements, model)
+        assert killed >= 1
+        for placement in placements:
+            if placement.request.status is JobStatus.FAILED:
+                assert placement.end_time < placement.start_time + 5000.0
+                assert placement.request.extras["failure_cause"] == "node_failure"
+
+    def test_no_mtbf_no_failures(self):
+        placements, _ = FCFSScheduler(nodes()).run([job(0, 0.0, 100.0)])
+        assert inject_node_failures(placements, FailureModel()) == 0
+
+    def test_short_jobs_rarely_hit(self):
+        model = FailureModel(node_mtbf_s=1e9, seed=5)
+        placements, _ = FCFSScheduler(nodes(count=4)).run(
+            [job(i, float(i), 1.0) for i in range(20)]
+        )
+        assert inject_node_failures(placements, model) == 0
+
+    def test_deterministic_for_seed(self):
+        def run():
+            placements, _ = FCFSScheduler(nodes(n_gpus=8)).run(
+                [job(i, 0.0, 10_000.0) for i in range(8)]
+            )
+            inject_node_failures(
+                placements, FailureModel(node_mtbf_s=3000.0, seed=9)
+            )
+            return [p.end_time for p in placements]
+
+        assert run() == run()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureModel(time_limit_s=-1.0)
+        with pytest.raises(ValueError):
+            FailureModel(node_mtbf_s=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(node_repair_s=-1.0)
+
+    def test_enabled_flag(self):
+        assert not FailureModel().enabled
+        assert FailureModel(time_limit_s=10.0).enabled
+        assert FailureModel(node_mtbf_s=10.0).enabled
+
+
+class TestSJFPolicy:
+    def test_short_job_served_first(self):
+        # one GPU; long job arrives first but both are queued behind an
+        # occupying job — SJF serves the short one first
+        sched = FCFSScheduler(nodes(), policy="sjf")
+        jobs = [
+            job(0, 0.0, 50.0),   # occupies the GPU
+            job(1, 1.0, 100.0),  # long, arrives before the short one
+            job(2, 2.0, 5.0),    # short
+        ]
+        placements, _ = sched.run(jobs)
+        assert placements[2].start_time == 50.0
+        assert placements[1].start_time == 55.0
+
+    def test_fcfs_keeps_arrival_order(self):
+        sched = FCFSScheduler(nodes(), policy="fcfs")
+        jobs = [job(0, 0.0, 50.0), job(1, 1.0, 100.0), job(2, 2.0, 5.0)]
+        placements, _ = sched.run(jobs)
+        assert placements[1].start_time == 50.0
+        assert placements[2].start_time == 150.0
+
+    def test_sjf_penalises_long_jobs(self):
+        """PHI1 insight: under SJF, long (multi-GPU-style) jobs wait
+        disproportionately when short jobs keep arriving."""
+        rng = np.random.default_rng(2)
+        jobs = []
+        for i in range(120):
+            long_job = i % 6 == 0
+            jobs.append(
+                job(i, float(rng.uniform(0, 500)), 200.0 if long_job else 10.0)
+            )
+        fcfs, _ = FCFSScheduler(nodes(n_gpus=2), policy="fcfs").run(jobs)
+        sjf, _ = FCFSScheduler(nodes(n_gpus=2), policy="sjf").run(jobs)
+
+        def mean_delay(placements, predicate):
+            delays = [
+                p.start_time - p.request.submit_time
+                for p in placements
+                if predicate(p.request)
+            ]
+            return sum(delays) / len(delays)
+
+        short_fcfs = mean_delay(fcfs, lambda r: r.runtime < 100)
+        short_sjf = mean_delay(sjf, lambda r: r.runtime < 100)
+        long_sjf = mean_delay(sjf, lambda r: r.runtime >= 100)
+        long_fcfs = mean_delay(fcfs, lambda r: r.runtime >= 100)
+        assert short_sjf < short_fcfs  # SJF helps the short jobs
+        assert long_sjf > long_fcfs  # …at the long jobs' expense
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            FCFSScheduler(nodes(), policy="random")
+
+    def test_all_jobs_still_scheduled(self):
+        jobs = [job(i, float(i % 7), float(1 + i % 13)) for i in range(60)]
+        placements, stats = FCFSScheduler(nodes(n_gpus=2), policy="sjf").run(jobs)
+        assert stats.n_scheduled == 60
+        assert len(placements) == 60

@@ -1,0 +1,113 @@
+"""Unit tests for node capacity accounting and the job model."""
+
+import pytest
+
+from repro.cluster import (
+    BehaviorProfile,
+    ClusterSpec,
+    JobRecord,
+    JobRequest,
+    JobStatus,
+    Node,
+    NodeSpec,
+    build_nodes,
+)
+
+
+@pytest.fixture()
+def spec():
+    return NodeSpec("v100", "V100", n_gpus=8, n_cpus=96, mem_gb=512, gpu_mem_gb=32)
+
+
+class TestNode:
+    def test_starts_full(self, spec):
+        node = Node(spec, 0)
+        assert node.free_gpus == 8
+        assert node.free_cpus == 96
+        assert node.name == "v100-0"
+
+    def test_allocate_release_roundtrip(self, spec):
+        node = Node(spec, 0)
+        node.allocate(4, 10, 100.0)
+        assert node.free_gpus == 4
+        node.release(4, 10, 100.0)
+        assert node.free_gpus == 8
+        assert node.free_mem_gb == 512
+
+    def test_overallocation_rejected(self, spec):
+        node = Node(spec, 0)
+        with pytest.raises(RuntimeError):
+            node.allocate(9, 0, 0)
+
+    def test_overrelease_rejected(self, spec):
+        node = Node(spec, 0)
+        with pytest.raises(RuntimeError):
+            node.release(1, 0, 0)
+
+    def test_fits_respects_every_dimension(self, spec):
+        node = Node(spec, 0)
+        assert node.fits(8, 96, 512)
+        assert not node.fits(1, 97, 0)
+        assert not node.fits(1, 0, 513)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec("bad", "X", n_gpus=-1, n_cpus=1, mem_gb=1)
+
+
+class TestClusterSpec:
+    def test_totals(self, spec):
+        t4 = NodeSpec("t4", "T4", n_gpus=4, n_cpus=48, mem_gb=256)
+        cluster = ClusterSpec.of((spec, 2), (t4, 3))
+        assert cluster.total_gpus == 8 * 2 + 4 * 3
+        assert cluster.gpus_by_type() == {"V100": 16, "T4": 12}
+
+    def test_build_nodes_materialises_counts(self, spec):
+        nodes = build_nodes(ClusterSpec.of((spec, 3)))
+        assert len(nodes) == 3
+        assert {n.name for n in nodes} == {"v100-0", "v100-1", "v100-2"}
+
+
+class TestJobModel:
+    def test_status_values_match_traces(self):
+        assert JobStatus.FAILED.value == "failed"
+        assert JobStatus.KILLED.value == "killed"
+        assert JobStatus.COMPLETED.value == "completed"
+
+    def test_behavior_profile_validation(self):
+        with pytest.raises(ValueError):
+            BehaviorProfile(sm_util_mean=150.0)
+        with pytest.raises(ValueError):
+            BehaviorProfile(burstiness=2.0)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(job_id=0, user="u", submit_time=0, runtime=-5)
+        with pytest.raises(ValueError):
+            JobRequest(job_id=0, user="u", submit_time=0, runtime=5, n_gpus=-1)
+
+    def test_record_row_merges_everything(self):
+        req = JobRequest(
+            job_id=7,
+            user="alice",
+            submit_time=100.0,
+            runtime=50.0,
+            n_gpus=2,
+            status=JobStatus.FAILED,
+            extras={"custom": "x"},
+        )
+        rec = JobRecord(
+            request=req,
+            start_time=130.0,
+            end_time=180.0,
+            node="v100-0",
+            assigned_gpu_type="V100",
+            telemetry={"sm_util": 0.0},
+        )
+        row = rec.as_row()
+        assert row["queue_delay"] == 30.0
+        assert row["runtime"] == 50.0
+        assert row["status"] == "failed"
+        assert row["sm_util"] == 0.0
+        assert row["custom"] == "x"
+        assert rec.status is JobStatus.FAILED

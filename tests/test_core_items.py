@@ -1,0 +1,76 @@
+"""Unit tests for items and vocabularies."""
+
+import pytest
+
+from repro.core import Item, ItemVocabulary, render_itemset
+
+
+class TestItem:
+    def test_str_form(self):
+        assert str(Item("SM Util", "0%")) == "SM Util = 0%"
+
+    def test_flag_renders_bare(self):
+        flag = Item.flag("Multi-GPU")
+        assert flag.is_flag
+        assert flag.render() == "Multi-GPU"
+
+    def test_parse_pair(self):
+        item = Item.parse("GPU Type = None")
+        assert item == Item("GPU Type", "None")
+        assert not item.is_flag
+
+    def test_parse_flag(self):
+        assert Item.parse("Failed") == Item.flag("Failed")
+
+    def test_parse_roundtrip(self):
+        item = Item("Queue", "Bin4")
+        assert Item.parse(str(item)) == item
+
+    def test_ordering_feature_then_value(self):
+        assert Item("A", "x") < Item("A", "y") < Item("B", "a")
+
+    def test_hashable_in_frozensets(self):
+        s = frozenset([Item("a", "1"), Item("a", "1"), Item("b", "2")])
+        assert len(s) == 2
+
+
+class TestItemVocabulary:
+    def test_intern_assigns_stable_ids(self):
+        vocab = ItemVocabulary()
+        i1 = vocab.intern(Item("a", "1"))
+        i2 = vocab.intern("b = 2")
+        assert vocab.intern(Item("a", "1")) == i1
+        assert i2 == i1 + 1
+        assert len(vocab) == 2
+
+    def test_id_of_missing_raises(self):
+        with pytest.raises(KeyError, match="not in the vocabulary"):
+            ItemVocabulary().id_of("ghost")
+
+    def test_get_id_missing_returns_none(self):
+        assert ItemVocabulary().get_id("ghost") is None
+
+    def test_item_of_roundtrip(self):
+        vocab = ItemVocabulary(["x = 1", "Failed"])
+        assert vocab.item_of(0) == Item("x", "1")
+        assert vocab.item_of(1) == Item.flag("Failed")
+
+    def test_encode_and_items_of(self):
+        vocab = ItemVocabulary()
+        ids = vocab.encode(["a = 1", "b = 2"])
+        assert vocab.items_of(ids) == frozenset({Item("a", "1"), Item("b", "2")})
+
+    def test_contains(self):
+        vocab = ItemVocabulary(["Failed"])
+        assert "Failed" in vocab
+        assert "Ghost" not in vocab
+
+    def test_iteration_in_id_order(self):
+        vocab = ItemVocabulary(["b = 2", "a = 1"])
+        assert list(vocab) == [Item("b", "2"), Item("a", "1")]
+
+
+class TestRenderItemset:
+    def test_sorted_braced(self):
+        text = render_itemset([Item.flag("Failed"), Item("CPU Util", "Bin1")])
+        assert text == "{CPU Util = Bin1, Failed}"

@@ -1,0 +1,160 @@
+"""Tests for condensed patterns (closed/maximal) and extra measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MiningConfig, TransactionDatabase, mine_frequent_itemsets
+from repro.core.interest import (
+    cosine,
+    extended_metrics,
+    imbalance_ratio,
+    jaccard,
+    kulczynski,
+)
+from repro.core.patterns import (
+    closed_itemsets,
+    maximal_itemsets,
+    support_of_from_closed,
+)
+from repro.core.rules import AssociationRule
+from repro.core.items import Item
+
+
+def _mine(db, min_support=0.2):
+    return mine_frequent_itemsets(db, MiningConfig(min_support=min_support, max_len=None))
+
+
+class TestClosedMaximal:
+    def test_textbook_closed(self, toy_db):
+        fis = _mine(toy_db, 0.2)
+        closed = closed_itemsets(fis)
+        # every closed itemset is frequent with the same count
+        for itemset, count in closed.counts.items():
+            assert fis.counts[itemset] == count
+        # something was condensed away
+        assert len(closed) < len(fis)
+
+    def test_closed_definition_holds(self, toy_db):
+        fis = _mine(toy_db, 0.2)
+        closed = closed_itemsets(fis)
+        for itemset, count in closed.counts.items():
+            for other, other_count in fis.counts.items():
+                if itemset < other:
+                    assert other_count < count, (
+                        f"{fis.render(itemset)} has an equal-support superset "
+                        f"{fis.render(other)} — not closed"
+                    )
+
+    def test_maximal_subset_of_closed(self, toy_db):
+        fis = _mine(toy_db, 0.2)
+        closed = set(closed_itemsets(fis).counts)
+        maximal = set(maximal_itemsets(fis).counts)
+        assert maximal <= closed
+
+    def test_maximal_no_frequent_supersets(self, toy_db):
+        fis = _mine(toy_db, 0.2)
+        maximal = maximal_itemsets(fis)
+        for itemset in maximal.counts:
+            for other in fis.counts:
+                assert not (itemset < other)
+
+    def test_support_recovery_from_closed(self, toy_db):
+        fis = _mine(toy_db, 0.2)
+        closed = closed_itemsets(fis)
+        for itemset, count in fis.counts.items():
+            assert support_of_from_closed(closed, itemset) == count
+
+    def test_recovery_of_infrequent_is_none(self, toy_db):
+        fis = _mine(toy_db, 0.4)
+        closed = closed_itemsets(fis)
+        eggs = toy_db.vocabulary.id_of("eggs")
+        cola = toy_db.vocabulary.id_of("cola")
+        assert support_of_from_closed(closed, frozenset({eggs, cola})) is None
+
+    def test_empty_table(self, toy_db):
+        from repro.core import FrequentItemsets
+
+        empty = FrequentItemsets({}, toy_db.vocabulary, 5, 0.5)
+        assert len(closed_itemsets(empty)) == 0
+        assert len(maximal_itemsets(empty)) == 0
+
+
+@st.composite
+def random_db(draw):
+    n_items = draw(st.integers(2, 6))
+    txns = draw(
+        st.lists(
+            st.lists(st.integers(0, n_items - 1), max_size=n_items),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return TransactionDatabase.from_itemsets([[f"i{i}" for i in t] for t in txns])
+
+
+@given(db=random_db(), min_support=st.sampled_from([0.1, 0.3]))
+@settings(max_examples=60, deadline=None)
+def test_condensation_hierarchy(db, min_support):
+    """maximal ⊆ closed ⊆ frequent, and closed recovery is lossless."""
+    fis = _mine(db, min_support)
+    closed = closed_itemsets(fis)
+    maximal = maximal_itemsets(fis)
+    assert set(maximal.counts) <= set(closed.counts) <= set(fis.counts)
+    for itemset, count in fis.counts.items():
+        assert support_of_from_closed(closed, itemset) == count
+
+
+class TestInterestMeasures:
+    def test_jaccard_bounds(self):
+        assert jaccard(0.2, 0.2, 0.2) == pytest.approx(1.0)  # identical sets
+        assert jaccard(0.0, 0.3, 0.3) == 0.0
+
+    def test_cosine_perfect_overlap(self):
+        assert cosine(0.2, 0.2, 0.2) == pytest.approx(1.0)
+
+    def test_kulczynski_mean_of_confidences(self):
+        # conf(X⇒Y)=0.5, conf(Y⇒X)=1.0 → 0.75
+        assert kulczynski(0.1, 0.2, 0.1) == pytest.approx(0.75)
+
+    def test_imbalance_symmetric_zero(self):
+        assert imbalance_ratio(0.1, 0.2, 0.2) == 0.0
+
+    def test_imbalance_grows_with_asymmetry(self):
+        assert imbalance_ratio(0.1, 0.5, 0.1) > imbalance_ratio(0.1, 0.2, 0.1)
+
+    def test_degenerate_zero_supports(self):
+        assert cosine(0.0, 0.0, 0.0) == 0.0
+        assert kulczynski(0.0, 0.0, 0.1) == 0.0
+        assert imbalance_ratio(0.0, 0.0, 0.0) == 0.0
+
+    def test_extended_metrics_roundtrip(self):
+        rule = AssociationRule(
+            antecedent=frozenset({Item("a", "1")}),
+            consequent=frozenset({Item("b", "1")}),
+            antecedent_ids=frozenset({0}),
+            consequent_ids=frozenset({1}),
+            support=0.1,
+            confidence=0.5,  # supp_x = 0.2
+            lift=2.5,  # supp_y = 0.2
+            leverage=0.06,
+            conviction=1.6,
+        )
+        m = extended_metrics(rule)
+        assert m.jaccard == pytest.approx(jaccard(0.1, 0.2, 0.2))
+        assert m.cosine == pytest.approx(cosine(0.1, 0.2, 0.2))
+        assert m.kulczynski == pytest.approx(kulczynski(0.1, 0.2, 0.2))
+        assert m.imbalance_ratio == pytest.approx(0.0)
+
+    @given(
+        supp_x=st.floats(0.05, 1.0),
+        supp_y=st.floats(0.05, 1.0),
+        frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_measure_bounds_property(self, supp_x, supp_y, frac):
+        supp_xy = frac * min(supp_x, supp_y)
+        assert 0.0 <= jaccard(supp_xy, supp_x, supp_y) <= 1.0 + 1e-9
+        assert 0.0 <= cosine(supp_xy, supp_x, supp_y) <= 1.0 + 1e-9
+        assert 0.0 <= kulczynski(supp_xy, supp_x, supp_y) <= 1.0 + 1e-9
+        assert 0.0 <= imbalance_ratio(supp_xy, supp_x, supp_y) <= 1.0 + 1e-9

@@ -1,0 +1,118 @@
+"""Unit tests for the CSR transaction database."""
+
+import numpy as np
+import pytest
+
+from repro.core import Item, ItemVocabulary, TransactionDatabase
+
+
+class TestConstruction:
+    def test_from_itemsets_sorts_and_dedupes(self):
+        db = TransactionDatabase.from_itemsets([["b", "a", "b"], ["a"]])
+        assert len(db) == 2
+        first = db.transaction(0)
+        assert list(first) == sorted(first)
+        assert len(first) == 2  # duplicate collapsed
+
+    def test_empty_transactions_allowed(self):
+        db = TransactionDatabase.from_itemsets([[], ["a"], []])
+        assert len(db) == 3
+        assert len(db.transaction(0)) == 0
+
+    def test_from_onehot(self):
+        matrix = np.asarray([[1, 0, 1], [0, 1, 0]], dtype=bool)
+        db = TransactionDatabase.from_onehot(matrix, ["a", "b", "c"])
+        assert len(db) == 2
+        assert db.support_count(["a", "c"]) == 1
+        assert db.support_count(["b"]) == 1
+
+    def test_from_onehot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            TransactionDatabase.from_onehot(np.zeros((2, 2), bool), ["a"])
+
+    def test_from_onehot_duplicate_items_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TransactionDatabase.from_onehot(np.zeros((1, 2), bool), ["a", "a"])
+
+    def test_invalid_indptr_rejected(self):
+        vocab = ItemVocabulary(["a"])
+        with pytest.raises(ValueError):
+            TransactionDatabase(vocab, np.asarray([1, 1]), np.asarray([], np.int32))
+
+    def test_out_of_range_ids_rejected(self):
+        vocab = ItemVocabulary(["a"])
+        with pytest.raises(ValueError):
+            TransactionDatabase(vocab, np.asarray([0, 1]), np.asarray([5], np.int32))
+
+
+class TestSupport:
+    def test_item_support_counts(self, toy_db):
+        counts = toy_db.item_support_counts()
+        by_item = {
+            toy_db.vocabulary.item_of(i).render(): int(c) for i, c in enumerate(counts)
+        }
+        assert by_item["bread"] == 4
+        assert by_item["milk"] == 4
+        assert by_item["diapers"] == 4
+        assert by_item["beer"] == 3
+
+    def test_support_count_of_pair(self, toy_db):
+        assert toy_db.support_count(["diapers", "beer"]) == 3
+
+    def test_support_relative(self, toy_db):
+        assert toy_db.support(["diapers", "beer"]) == pytest.approx(0.6)
+
+    def test_empty_itemset_supported_everywhere(self, toy_db):
+        assert toy_db.support_count([]) == len(toy_db)
+
+    def test_support_by_item_object_and_id(self, toy_db):
+        by_name = toy_db.support_count(["bread"])
+        item_id = toy_db.vocabulary.id_of(Item.flag("bread"))
+        assert toy_db.support_count([item_id]) == by_name
+
+    def test_unknown_id_rejected(self, toy_db):
+        with pytest.raises(KeyError):
+            toy_db.support_count([999])
+
+    def test_vertical_matches_counts(self, toy_db):
+        vertical = toy_db.vertical()
+        counts = toy_db.item_support_counts()
+        assert (vertical.sum(axis=1) == counts).all()
+
+
+class TestProjections:
+    def test_restrict_items_keeps_n_transactions(self, toy_db):
+        keep = [toy_db.vocabulary.id_of("bread")]
+        sub = toy_db.restrict_items(keep)
+        assert len(sub) == len(toy_db)
+        assert sub.support_count(["bread"]) == 4
+        assert sub.item_support_counts().sum() == 4
+
+    def test_restrict_items_with_empty_transactions(self):
+        db = TransactionDatabase.from_itemsets([[], ["a", "b"], ["b"]])
+        sub = db.restrict_items([db.vocabulary.id_of("a")])
+        assert len(sub) == 3
+        assert sub.support_count(["a"]) == 1
+
+    def test_sample_selects_rows(self, toy_db):
+        sub = toy_db.sample([0, 4])
+        assert len(sub) == 2
+        assert sub.support_count(["bread"]) == 2
+
+    def test_split_partitions_cover_everything(self, toy_db):
+        parts = toy_db.split(2)
+        assert sum(len(p) for p in parts) == len(toy_db)
+
+    def test_split_more_parts_than_rows(self):
+        db = TransactionDatabase.from_itemsets([["a"], ["b"]])
+        parts = db.split(5)
+        assert sum(len(p) for p in parts) == 2
+
+    def test_split_invalid(self, toy_db):
+        with pytest.raises(ValueError):
+            toy_db.split(0)
+
+    def test_iter_item_transactions_roundtrip(self, toy_db):
+        decoded = list(toy_db.iter_item_transactions())
+        assert len(decoded) == 5
+        assert Item.flag("bread") in decoded[0]

@@ -1,0 +1,152 @@
+"""Unit tests for the typed column substrate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataframe import (
+    BooleanColumn,
+    CategoricalColumn,
+    NumericColumn,
+    column_from_values,
+)
+
+
+class TestNumericColumn:
+    def test_basic_construction_and_length(self):
+        col = NumericColumn([1.0, 2.5, 3.0])
+        assert len(col) == 3
+        assert col.to_list() == [1.0, 2.5, 3.0]
+
+    def test_nan_is_missing(self):
+        col = NumericColumn([1.0, math.nan, 3.0])
+        assert col.to_list() == [1.0, None, 3.0]
+        assert col.isna().tolist() == [False, True, False]
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            NumericColumn(np.zeros((2, 2)))
+
+    def test_take_gathers_rows(self):
+        col = NumericColumn([10.0, 20.0, 30.0])
+        assert col.take(np.asarray([2, 0])).to_list() == [30.0, 10.0]
+
+    def test_mask_filters_rows(self):
+        col = NumericColumn([1.0, 2.0, 3.0])
+        assert col.mask(np.asarray([True, False, True])).to_list() == [1.0, 3.0]
+
+    def test_mask_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            NumericColumn([1.0]).mask(np.asarray([True, False]))
+
+    def test_equals_scalar_nan_never_matches(self):
+        col = NumericColumn([1.0, math.nan, 1.0])
+        assert col.equals_scalar(1.0).tolist() == [True, False, True]
+        assert col.equals_scalar(float("nan")).tolist() == [False, False, False]
+
+    def test_reductions_ignore_nan(self):
+        col = NumericColumn([1.0, math.nan, 3.0])
+        assert col.min() == 1.0
+        assert col.max() == 3.0
+        assert col.mean() == 2.0
+        assert col.sum() == 4.0
+
+    def test_quantile(self):
+        col = NumericColumn(np.arange(101, dtype=float))
+        assert col.quantile(0.5) == 50.0
+
+
+class TestCategoricalColumn:
+    def test_from_values_interns_in_order(self):
+        col = CategoricalColumn.from_values(["b", "a", "b", None])
+        assert col.categories == ["b", "a"]
+        assert col.to_list() == ["b", "a", "b", None]
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalColumn(np.asarray([0, 5], dtype=np.int32), ["x"])
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalColumn(np.asarray([0], dtype=np.int32), ["x", "x"])
+
+    def test_equals_scalar(self):
+        col = CategoricalColumn.from_values(["a", "b", "a"])
+        assert col.equals_scalar("a").tolist() == [True, False, True]
+        assert col.equals_scalar("zzz").tolist() == [False, False, False]
+        assert col.equals_scalar(None).tolist() == [False, False, False]
+
+    def test_value_counts_sorted_desc(self):
+        col = CategoricalColumn.from_values(["a", "b", "b", "b", "a", None])
+        assert col.value_counts() == {"b": 3, "a": 2}
+
+    def test_map_categories_merges_labels(self):
+        col = CategoricalColumn.from_values(["resnet", "vgg", "bert", None])
+        mapped = col.map_categories({"resnet": "CV", "vgg": "CV", "bert": "NLP"})
+        assert mapped.to_list() == ["CV", "CV", "NLP", None]
+        assert mapped.categories == ["CV", "NLP"]
+
+    def test_map_categories_identity_for_unmapped(self):
+        col = CategoricalColumn.from_values(["x", "y"])
+        mapped = col.map_categories({"x": "z"})
+        assert mapped.to_list() == ["z", "y"]
+
+    def test_take_preserves_categories(self):
+        col = CategoricalColumn.from_values(["a", "b", "c"])
+        sub = col.take(np.asarray([1]))
+        assert sub.to_list() == ["b"]
+        assert sub.categories == ["a", "b", "c"]
+
+    def test_missing_strings_treated_as_na(self):
+        col = CategoricalColumn.from_values(["a", "", "nan", "NaN", "null"])
+        assert col.to_list() == ["a", None, None, None, None]
+
+    def test_none_string_is_a_real_category(self):
+        # "GPU Type = None" is a legitimate trace value, not a missing cell
+        col = CategoricalColumn.from_values(["None", "T4"])
+        assert col.to_list() == ["None", "T4"]
+
+
+class TestBooleanColumn:
+    def test_roundtrip(self):
+        col = BooleanColumn([True, False, True])
+        assert col.to_list() == [True, False, True]
+        assert not col.isna().any()
+
+    def test_equals_scalar(self):
+        col = BooleanColumn([True, False])
+        assert col.equals_scalar(True).tolist() == [True, False]
+
+
+class TestColumnFromValues:
+    def test_all_bools_gives_boolean(self):
+        assert isinstance(column_from_values([True, False]), BooleanColumn)
+
+    def test_bools_with_missing_promote_to_numeric(self):
+        col = column_from_values([True, None, False])
+        assert isinstance(col, NumericColumn)
+        assert col.to_list() == [1.0, None, 0.0]
+
+    def test_numeric_strings_parse(self):
+        col = column_from_values(["1.5", "2", None])
+        assert isinstance(col, NumericColumn)
+        assert col.to_list() == [1.5, 2.0, None]
+
+    def test_mixed_strings_become_categorical(self):
+        col = column_from_values(["1.5", "abc"])
+        assert isinstance(col, CategoricalColumn)
+
+    def test_true_false_strings_parse_as_boolean(self):
+        col = column_from_values(["true", "False", "TRUE"])
+        assert isinstance(col, BooleanColumn)
+        assert col.to_list() == [True, False, True]
+
+    def test_true_false_with_missing_promote_to_numeric(self):
+        col = column_from_values(["true", None, "false"])
+        assert isinstance(col, NumericColumn)
+        assert col.to_list() == [1.0, None, 0.0]
+
+    def test_all_missing_becomes_categorical_of_nothing(self):
+        col = column_from_values([None, None])
+        assert col.to_list() == [None, None]

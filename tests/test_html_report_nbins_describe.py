@@ -1,0 +1,60 @@
+"""Tests for the HTML report generator (and its SVG chart helper)."""
+
+import pytest
+
+from repro.analysis import extract_insights, full_case_study
+from repro.analysis.html_report import render_html_report, svg_bar_chart
+
+
+class TestSvgBarChart:
+    def test_one_bar_per_entry(self):
+        svg = svg_bar_chart({"a": 0.5, "b": 1.0})
+        assert svg.count("<rect") == 2
+        assert "50.0%" in svg and "100.0%" in svg
+
+    def test_empty(self):
+        assert svg_bar_chart({}) == "<svg/>"
+
+    def test_labels_escaped(self):
+        svg = svg_bar_chart({"<script>": 1.0})
+        assert "<script>" not in svg
+        assert "&lt;script&gt;" in svg
+
+    def test_zero_values_render(self):
+        svg = svg_bar_chart({"x": 0.0, "y": 1.0})
+        assert svg.count("<rect") == 2
+
+
+class TestHtmlReport:
+    @pytest.fixture(scope="class")
+    def study(self, philly_table):
+        return full_case_study("philly", table=philly_table)
+
+    def test_self_contained_document(self, study, philly_table):
+        doc = render_html_report(study, table=philly_table)
+        assert doc.startswith("<!doctype html>")
+        assert doc.endswith("</html>")
+        assert "http" not in doc.split("xmlns")[0]  # no external links in head
+        assert "Philly" in doc
+
+    def test_contains_rule_tables_and_figures(self, study, philly_table):
+        doc = render_html_report(study, table=philly_table)
+        assert doc.count("<table>") == len(study.tables)
+        assert "<svg" in doc  # Fig. 4/5 analogues
+        assert "exit status" in doc
+
+    def test_insights_rendered(self, study, philly_table):
+        insights = {
+            "failure": extract_insights(study.analysis["failure"]),
+        }
+        doc = render_html_report(study, table=philly_table, insights=insights)
+        assert 'class="insight"' in doc
+
+    def test_without_table_skips_figures(self, study):
+        doc = render_html_report(study)
+        assert "Distributions" not in doc
+
+    def test_writes_valid_file(self, study, philly_table, tmp_path):
+        path = tmp_path / "report.html"
+        path.write_text(render_html_report(study, table=philly_table))
+        assert path.stat().st_size > 5_000

@@ -1,0 +1,90 @@
+"""Tests for SON partitioned mining: soundness and completeness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MiningConfig, TransactionDatabase, fpgrowth, mine_frequent_itemsets
+from repro.parallel import count_candidates, local_candidates, son_mine
+
+
+class TestSonSerial:
+    @pytest.mark.parametrize("n_partitions", [1, 2, 3, 5])
+    def test_matches_fpgrowth(self, toy_db, n_partitions):
+        son = son_mine(toy_db, min_support=0.4, n_partitions=n_partitions)
+        reference = fpgrowth(toy_db, 0.4)
+        assert son.counts == reference
+
+    def test_empty_database(self):
+        db = TransactionDatabase.from_itemsets([])
+        assert len(son_mine(db, 0.5)) == 0
+
+    def test_invalid_params(self, toy_db):
+        with pytest.raises(ValueError):
+            son_mine(toy_db, n_partitions=0)
+        with pytest.raises(ValueError):
+            son_mine(toy_db, n_workers=0)
+
+    @pytest.mark.parametrize("algorithm", ["fpgrowth", "apriori", "eclat"])
+    def test_any_local_algorithm(self, toy_db, algorithm):
+        son = son_mine(toy_db, 0.4, n_partitions=2, algorithm=algorithm)
+        assert son.counts == fpgrowth(toy_db, 0.4)
+
+    def test_max_len_respected(self, toy_db):
+        son = son_mine(toy_db, 0.2, max_len=2, n_partitions=2)
+        assert all(len(s) <= 2 for s in son.counts)
+
+
+class TestPhases:
+    def test_local_candidates_superset_of_global(self, toy_db):
+        # pigeonhole: every globally frequent itemset is locally frequent
+        # in at least one partition
+        global_frequent = set(fpgrowth(toy_db, 0.4))
+        union = set()
+        for part in toy_db.split(2):
+            union |= local_candidates(part, 0.4, None)
+        assert global_frequent <= union
+
+    def test_count_candidates_exact(self, toy_db):
+        candidates = {frozenset({0}), frozenset({0, 1})}
+        counts = count_candidates(toy_db, candidates)
+        for itemset, count in counts.items():
+            assert count == toy_db.support_count(itemset)
+
+
+class TestSonParallel:
+    def test_process_pool_matches_serial(self, toy_db):
+        serial = son_mine(toy_db, 0.4, n_partitions=2, n_workers=1)
+        parallel = son_mine(toy_db, 0.4, n_partitions=2, n_workers=2)
+        assert serial.counts == parallel.counts
+
+    def test_trace_scale_parallel(self, supercloud_db):
+        son = son_mine(supercloud_db, 0.05, max_len=3, n_partitions=4, n_workers=2)
+        reference = mine_frequent_itemsets(
+            supercloud_db, MiningConfig(min_support=0.05, max_len=3)
+        )
+        assert son.counts == reference.counts
+
+
+@st.composite
+def random_db(draw):
+    n_items = draw(st.integers(2, 6))
+    txns = draw(
+        st.lists(
+            st.lists(st.integers(0, n_items - 1), max_size=n_items),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return TransactionDatabase.from_itemsets([[f"i{i}" for i in t] for t in txns])
+
+
+@given(
+    db=random_db(),
+    min_support=st.sampled_from([0.1, 0.3, 0.5]),
+    n_partitions=st.integers(1, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_son_equivalence_property(db, min_support, n_partitions):
+    son = son_mine(db, min_support, n_partitions=n_partitions)
+    assert son.counts == fpgrowth(db, min_support)

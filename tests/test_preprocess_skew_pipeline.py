@@ -1,0 +1,130 @@
+"""Unit tests for the skew filter and the composed pipeline."""
+
+import pytest
+
+from repro.core import Item, TransactionDatabase
+from repro.dataframe import ColumnTable
+from repro.preprocess import (
+    FeatureSpec,
+    GroupingSpec,
+    TierSpec,
+    TracePreprocessor,
+    drop_skewed_items,
+    skewed_item_ids,
+)
+
+
+class TestSkewFilter:
+    def test_drops_over_threshold(self):
+        db = TransactionDatabase.from_itemsets(
+            [["common", "rare"]] + [["common"]] * 8 + [["other"]]
+        )
+        filtered, dropped = drop_skewed_items(db, max_share=0.8)
+        assert [i.render() for i in dropped] == ["common"]
+        assert filtered.support_count(["common"]) == 0
+        assert filtered.support_count(["rare"]) == 1
+        # |D| unchanged → supports keep their denominators
+        assert len(filtered) == len(db)
+
+    def test_exactly_at_threshold_kept(self):
+        db = TransactionDatabase.from_itemsets([["x"]] * 8 + [["y"]] * 2)
+        filtered, dropped = drop_skewed_items(db, max_share=0.8)
+        assert dropped == []  # 80 % is not "> 80 %"
+
+    def test_no_skew_no_change(self):
+        db = TransactionDatabase.from_itemsets([["a"], ["b"]])
+        filtered, dropped = drop_skewed_items(db)
+        assert dropped == []
+        assert filtered is db
+
+    def test_empty_db(self):
+        db = TransactionDatabase.from_itemsets([])
+        assert skewed_item_ids(db) == []
+
+    def test_invalid_share(self):
+        db = TransactionDatabase.from_itemsets([["a"]])
+        with pytest.raises(ValueError):
+            skewed_item_ids(db, max_share=0.0)
+
+
+@pytest.fixture()
+def raw_table():
+    users = ["heavy"] * 12 + ["mid"] * 5 + ["light"] * 3
+    return ColumnTable.from_dict(
+        {
+            "user": users,
+            "model": ["resnet", "bert"] * 10,
+            "runtime": list(range(20)),
+            "failed": [i % 4 == 0 for i in range(20)],
+        }
+    )
+
+
+class TestTracePreprocessor:
+    def test_full_pipeline(self, raw_table):
+        pre = TracePreprocessor(
+            features=[
+                FeatureSpec("user_tier", kind="label"),
+                FeatureSpec("model"),
+                FeatureSpec("runtime", item_feature="Runtime"),
+                FeatureSpec("failed", kind="flag", true_label="Failed"),
+            ],
+            tier_specs=[
+                TierSpec("user", "user_tier", frequent_label="Freq User",
+                         moderate_label="Mod User", rare_label="Rare User")
+            ],
+            grouping_specs=[GroupingSpec("model")],
+        )
+        result = pre.run(raw_table)
+        db = result.database
+        assert len(db) == 20
+        rendered = {i.render() for i in db.vocabulary}
+        assert "Freq User" in rendered
+        assert "model = CV" in rendered and "model = NLP" in rendered
+        assert "Failed" in rendered
+        # provenance exposed
+        assert "runtime" in result.bin_ranges
+        assert "user" in result.tiers
+        assert "PreprocessResult" in result.summary()
+
+    def test_skew_filter_applied(self):
+        table = ColumnTable.from_dict(
+            {"flag": [True] * 19 + [False], "x": list(range(20))}
+        )
+        pre = TracePreprocessor(
+            features=[
+                FeatureSpec("flag", kind="flag", true_label="Common"),
+                FeatureSpec("x"),
+            ]
+        )
+        result = pre.run(table)
+        assert [i.render() for i in result.dropped_items] == ["Common"]
+        assert result.database.support_count([Item.flag("Common")]) == 0
+
+    def test_tier_on_non_categorical_rejected(self, raw_table):
+        pre = TracePreprocessor(
+            features=[FeatureSpec("runtime")],
+            tier_specs=[TierSpec("runtime", "tier_out")],
+        )
+        with pytest.raises(TypeError):
+            pre.run(raw_table)
+
+    def test_grouping_on_non_categorical_rejected(self, raw_table):
+        pre = TracePreprocessor(
+            features=[FeatureSpec("runtime")],
+            grouping_specs=[GroupingSpec("runtime")],
+        )
+        with pytest.raises(TypeError):
+            pre.run(raw_table)
+
+    def test_requires_features(self):
+        with pytest.raises(ValueError):
+            TracePreprocessor(features=[])
+
+    def test_source_table_not_mutated(self, raw_table):
+        names_before = list(raw_table.column_names)
+        TracePreprocessor(
+            features=[FeatureSpec("runtime")],
+            tier_specs=[TierSpec("user", "user_tier")],
+        ).run(raw_table)
+        assert raw_table.column_names == names_before

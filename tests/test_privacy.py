@@ -1,0 +1,98 @@
+"""Tests for the differentially private itemset release."""
+
+import numpy as np
+import pytest
+
+from repro.core import MiningConfig, TransactionDatabase, mine_frequent_itemsets
+from repro.privacy import DPConfig, dp_mine_frequent_itemsets, recovery_f1
+
+
+@pytest.fixture()
+def db():
+    rng = np.random.default_rng(5)
+    txns = []
+    for _ in range(600):
+        items = []
+        if rng.random() < 0.6:
+            items.append("common")
+        if rng.random() < 0.3:
+            items.append("mid")
+        if items and rng.random() < 0.7:
+            items.append("tail")
+        txns.append(items or ["common"])
+    return TransactionDatabase.from_itemsets(txns)
+
+
+CFG = MiningConfig(min_support=0.2, max_len=3, min_lift=1.0)
+
+
+class TestRelease:
+    def test_high_epsilon_recovers_truth(self, db):
+        reference = mine_frequent_itemsets(db, CFG)
+        result = dp_mine_frequent_itemsets(db, CFG, DPConfig(epsilon=1e6, seed=1))
+        assert recovery_f1(result.itemsets, reference) == 1.0
+        # counts within rounding of the true ones at negligible noise
+        for itemset, count in result.itemsets.counts.items():
+            assert abs(count - reference.counts[itemset]) <= 1
+
+    def test_low_epsilon_degrades(self, db):
+        reference = mine_frequent_itemsets(db, CFG)
+        scores = []
+        for epsilon in (1e6, 10.0, 0.05):
+            f1s = [
+                recovery_f1(
+                    dp_mine_frequent_itemsets(
+                        db, CFG, DPConfig(epsilon=epsilon, seed=s)
+                    ).itemsets,
+                    reference,
+                )
+                for s in range(5)
+            ]
+            scores.append(float(np.mean(f1s)))
+        assert scores[0] >= scores[1] >= scores[2] - 0.05
+        assert scores[0] > scores[2]
+
+    def test_released_counts_bounded(self, db):
+        result = dp_mine_frequent_itemsets(db, CFG, DPConfig(epsilon=0.5, seed=2))
+        for count in result.itemsets.counts.values():
+            assert 0 <= count <= len(db)
+
+    def test_noise_scale_accounting(self, db):
+        result = dp_mine_frequent_itemsets(db, CFG, DPConfig(epsilon=2.0, seed=3))
+        assert result.noise_scale == pytest.approx(result.n_candidates / 2.0)
+
+    def test_deterministic_for_seed(self, db):
+        a = dp_mine_frequent_itemsets(db, CFG, DPConfig(epsilon=1.0, seed=4))
+        b = dp_mine_frequent_itemsets(db, CFG, DPConfig(epsilon=1.0, seed=4))
+        assert a.itemsets.counts == b.itemsets.counts
+
+    def test_empty_database(self):
+        empty = TransactionDatabase.from_itemsets([])
+        result = dp_mine_frequent_itemsets(empty, CFG, DPConfig(epsilon=1.0))
+        assert len(result.itemsets) == 0
+        assert result.n_candidates == 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            DPConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            DPConfig(candidate_fraction=0.0)
+
+
+class TestRecoveryF1:
+    def test_perfect(self, db):
+        fis = mine_frequent_itemsets(db, CFG)
+        assert recovery_f1(fis, fis) == 1.0
+
+    def test_empty_both(self, db):
+        from repro.core import FrequentItemsets
+
+        empty = FrequentItemsets({}, db.vocabulary, len(db), 0.2)
+        assert recovery_f1(empty, empty) == 1.0
+
+    def test_no_overlap(self, db):
+        from repro.core import FrequentItemsets
+
+        fis = mine_frequent_itemsets(db, CFG)
+        empty = FrequentItemsets({}, db.vocabulary, len(db), 0.2)
+        assert recovery_f1(empty, fis) == 0.0

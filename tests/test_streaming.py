@@ -1,0 +1,121 @@
+"""Tests for the sliding-window streaming miner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MiningConfig, TransactionDatabase, fpgrowth
+from repro.streaming import SlidingWindowMiner
+
+
+class TestWindowMaintenance:
+    def test_grows_until_window_size(self):
+        miner = SlidingWindowMiner(window_size=3)
+        for k in range(5):
+            miner.observe([f"i{k}"])
+        assert len(miner) == 3
+        assert miner.n_seen == 5
+
+    def test_eviction_updates_item_counts(self):
+        miner = SlidingWindowMiner(window_size=2)
+        miner.observe(["a"])
+        miner.observe(["a", "b"])
+        assert miner.item_support("a") == 1.0
+        miner.observe(["b"])  # evicts the first ["a"]
+        assert miner.item_support("a") == pytest.approx(0.5)
+        assert miner.item_support("b") == 1.0
+
+    def test_unknown_item_support_zero(self):
+        miner = SlidingWindowMiner(window_size=2)
+        miner.observe(["a"])
+        assert miner.item_support("ghost") == 0.0
+
+    def test_empty_window_support_zero(self):
+        assert SlidingWindowMiner(window_size=2).item_support("a") == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMiner(window_size=0)
+
+    def test_duplicate_items_collapsed(self):
+        miner = SlidingWindowMiner(window_size=2)
+        miner.observe(["a", "a", "a"])
+        assert miner.item_support("a") == 1.0
+        db = miner.snapshot()
+        assert len(db.transaction(0)) == 1
+
+
+class TestMining:
+    def test_mine_matches_batch_on_window(self):
+        miner = SlidingWindowMiner(
+            window_size=4, config=MiningConfig(min_support=0.5, max_len=None)
+        )
+        stream = [["a", "b"], ["a"], ["a", "b"], ["b"], ["a", "b", "c"]]
+        for txn in stream:
+            miner.observe(txn)
+        # window now holds the last 4
+        batch = TransactionDatabase.from_itemsets(stream[1:])
+        expected = fpgrowth(batch, 0.5)
+        mined = miner.mine()
+        decoded = {
+            frozenset(i.render() for i in miner.vocabulary.items_of(ids)): count
+            for ids, count in mined.counts.items()
+        }
+        expected_decoded = {
+            frozenset(i.render() for i in batch.vocabulary.items_of(ids)): count
+            for ids, count in expected.items()
+        }
+        assert decoded == expected_decoded
+
+    def test_drift_detection(self):
+        """A regime change inside the stream shows up after the window
+        slides past the old regime — the monitoring use case."""
+        miner = SlidingWindowMiner(
+            window_size=50, config=MiningConfig(min_support=0.6, max_len=2)
+        )
+        # regime 1: failures dominate
+        for _ in range(50):
+            miner.observe(["Failed", "SM Util = 0%"])
+        before = miner.mine()
+        assert miner.item_support("Failed") == 1.0
+        # regime 2: healthy jobs wash the window
+        for _ in range(50):
+            miner.observe(["Completed"])
+        after = miner.mine()
+        assert miner.item_support("Failed") == 0.0
+        failed_id = miner.vocabulary.id_of("Failed")
+        assert any(failed_id in s for s in before.counts)
+        assert not any(failed_id in s for s in after.counts)
+
+    def test_snapshot_is_isolated(self):
+        miner = SlidingWindowMiner(window_size=2)
+        miner.observe(["a"])
+        snap = miner.snapshot()
+        miner.observe(["b"])
+        miner.observe(["c"])
+        assert len(snap) == 1  # unchanged by later stream activity
+
+
+@given(
+    window=st.integers(1, 10),
+    stream=st.lists(
+        st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=4), max_size=40
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_window_equals_batch_property(window, stream):
+    """At every prefix, the snapshot equals a batch DB over the suffix."""
+    miner = SlidingWindowMiner(window_size=window)
+    for txn in stream:
+        miner.observe(txn)
+    tail = stream[-window:] if stream else []
+    snap = miner.snapshot()
+    assert len(snap) == len(tail)
+    batch = TransactionDatabase.from_itemsets(tail)
+    decoded_snap = [
+        frozenset(i.render() for i in s) for s in snap.iter_item_transactions()
+    ]
+    decoded_batch = [
+        frozenset(i.render() for i in s) for s in batch.iter_item_transactions()
+    ]
+    assert decoded_snap == decoded_batch
