@@ -1,27 +1,34 @@
-"""Parallel mining — SON partitioned FP-Growth (Sec. VI scaling path).
+"""Parallel mining — engine backends over SON partitioning (Sec. VI path).
 
-Times the two-phase SON miner against single-machine FP-Growth on the
-PAI database and verifies bit-exact equivalence (SON changes the
-execution plan, not the answer).
+Times the engine's partitioned backends against the serial backend on
+the PAI database and verifies bit-exact equivalence (a backend changes
+the execution plan, not the answer).  Caching is disabled so every
+round measures a real mining pass.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core import MiningConfig, mine_frequent_itemsets
-from repro.parallel import son_mine
+from repro.core import MiningConfig
+from repro.engine import MiningEngine
 
 from bench_util import write_artifact
 
+PAPER = MiningConfig()
 
-@pytest.mark.parametrize("n_partitions,n_workers", [(1, 1), (4, 1), (4, 4)])
-def test_son_runtime(benchmark, all_results, n_partitions, n_workers):
+
+@pytest.mark.parametrize(
+    "backend,n_partitions,n_workers",
+    [("process", 1, 1), ("process", 4, 1), ("process", 4, 4), ("threaded", 4, 4)],
+)
+def test_backend_runtime(benchmark, all_results, backend, n_partitions, n_workers):
     db = all_results["PAI"].database
+    engine = MiningEngine(
+        backend=backend, n_workers=n_workers, n_partitions=n_partitions, cache=False
+    )
     result = benchmark.pedantic(
-        lambda: son_mine(
-            db, 0.05, max_len=5, n_partitions=n_partitions, n_workers=n_workers
-        ),
+        lambda: engine.mine(db, PAPER),
         rounds=3,
         iterations=1,
     )
@@ -44,16 +51,15 @@ def test_parallel_rulegen_equivalence(benchmark, all_itemsets):
 
 
 def test_son_equivalence(benchmark, all_results, all_itemsets):
+    engine = MiningEngine(backend="process", n_partitions=4, cache=False)
     benchmark.pedantic(
-        lambda: son_mine(
-            all_results["Philly"].database, 0.05, max_len=5, n_partitions=4
-        ),
+        lambda: engine.mine(all_results["Philly"].database, PAPER),
         rounds=2,
         iterations=1,
     )
     lines = ["SON partitioned mining vs FP-Growth (min_support=0.05, maxlen=5)", ""]
     for name, result in all_results.items():
-        son = son_mine(result.database, 0.05, max_len=5, n_partitions=4)
+        son = engine.mine(result.database, PAPER)
         reference = all_itemsets[name]
         assert son.counts == reference.counts, f"SON differs on {name}"
         lines.append(f"{name:<12} {len(son):>7} itemsets — identical to FP-Growth")

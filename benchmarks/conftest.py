@@ -13,7 +13,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import MiningConfig, mine_frequent_itemsets
+from repro.core import MiningConfig
+from repro.engine import MiningEngine
 from repro.traces import (
     PAIConfig,
     PhillyConfig,
@@ -89,8 +90,14 @@ def paper_config():
 
 
 @pytest.fixture(scope="session")
-def all_itemsets(all_results, paper_config):
+def engine():
+    """Session-wide mining engine with a shared itemset cache."""
+    return MiningEngine(backend="auto")
+
+
+@pytest.fixture(scope="session")
+def all_itemsets(all_results, paper_config, engine):
     return {
-        name: mine_frequent_itemsets(result.database, paper_config)
+        name: engine.mine(result.database, paper_config)
         for name, result in all_results.items()
     }

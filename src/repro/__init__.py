@@ -18,7 +18,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.traces` — synthetic PAI / SuperCloud / Philly traces;
 * :mod:`repro.cluster` — the GPU-cluster simulator substrate;
 * :mod:`repro.analysis` — the end-to-end workflow and case studies;
-* :mod:`repro.parallel` — SON partitioned mining;
+* :mod:`repro.engine` — the unified mining engine (pluggable execution
+  backends, content-addressed itemset cache, per-stage instrumentation);
+* :mod:`repro.parallel` — SON phase primitives used by the engine's
+  partitioned backends;
 * :mod:`repro.dataframe` — the minimal columnar-table substrate;
 * :mod:`repro.viz` — figure data (CDFs, box stats, rule scatters).
 """
@@ -52,7 +55,15 @@ from .core import (
     mine_rules,
     prune_rules,
 )
-from .parallel import son_mine
+from .engine import (
+    BACKENDS,
+    EngineStats,
+    ItemsetCache,
+    MiningEngine,
+    default_engine,
+    get_backend,
+)
+from .parallel import son_mine  # deprecated shim, kept for one release
 from .predict import RuleClassifier, evaluate_predictions, split_database
 from .streaming import SlidingWindowMiner
 from .preprocess import TracePreprocessor, TransactionEncoder
@@ -96,7 +107,14 @@ __all__ = [
     "misc_study",
     "full_case_study",
     "CaseStudy",
-    # parallel
+    # engine
+    "MiningEngine",
+    "default_engine",
+    "EngineStats",
+    "ItemsetCache",
+    "BACKENDS",
+    "get_backend",
+    # parallel (deprecated shim)
     "son_mine",
     # prediction
     "RuleClassifier",

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from ..core import MiningConfig
 from ..dataframe import ColumnTable
+from ..engine import MiningEngine
 from ..traces import TraceDefinition, get_trace
 from ..traces.synthetic.pai import pai_preprocessor
 from .report import RuleTable, format_rule_table
@@ -54,12 +55,13 @@ def analyze_trace(
     table: ColumnTable | None = None,
     config: MiningConfig = MiningConfig(),
     n_jobs: int | None = None,
+    engine: MiningEngine | None = None,
 ) -> AnalysisResult:
     """Run the full workflow on a trace for its standard keywords."""
     definition = _resolve(trace)
     if table is None:
         table = definition.generate_scaled(n_jobs=n_jobs)
-    workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+    workflow = InterpretableAnalysis(definition.make_preprocessor(), config, engine)
     keywords = {
         name: kw
         for name, kw in definition.keywords.items()
@@ -73,11 +75,12 @@ def underutilization_study(
     table: ColumnTable | None = None,
     config: MiningConfig = MiningConfig(),
     analysis: AnalysisResult | None = None,
+    engine: MiningEngine | None = None,
 ) -> tuple[AnalysisResult, RuleTable]:
     """Sec. IV-B: rules around jobs with 0 % GPU SM utilisation."""
     definition = _resolve(trace)
     if analysis is None:
-        analysis = analyze_trace(definition, table=table, config=config)
+        analysis = analyze_trace(definition, table=table, config=config, engine=engine)
     rule_table = format_rule_table(
         analysis["underutilization"],
         title=f"GPU underutilization rules — {definition.display_name} trace",
@@ -92,11 +95,12 @@ def failure_study(
     table: ColumnTable | None = None,
     config: MiningConfig = MiningConfig(),
     analysis: AnalysisResult | None = None,
+    engine: MiningEngine | None = None,
 ) -> tuple[AnalysisResult, RuleTable]:
     """Sec. IV-C: rules around failed jobs."""
     definition = _resolve(trace)
     if analysis is None:
-        analysis = analyze_trace(definition, table=table, config=config)
+        analysis = analyze_trace(definition, table=table, config=config, engine=engine)
     rule_table = format_rule_table(
         analysis["failure"],
         title=f"Job failure rules — {definition.display_name} trace",
@@ -110,6 +114,7 @@ def misc_study(
     trace: str | TraceDefinition,
     table: ColumnTable | None = None,
     config: MiningConfig = MiningConfig(),
+    engine: MiningEngine | None = None,
 ) -> dict[str, RuleTable]:
     """Sec. IV-D: trace-specific rules (Table VIII)."""
     definition = _resolve(trace)
@@ -119,7 +124,7 @@ def misc_study(
 
     if definition.name == "pai":
         # queue-behaviour rules, standard preprocessing
-        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config, engine)
         result = workflow.run(
             table,
             {"t4": "GPU Type = T4", "non_t4": "GPU Type = None T4"},
@@ -133,7 +138,7 @@ def misc_study(
         # model-specific rules on the labelled subset
         labelled = table.dropna(["model_name"])
         model_workflow = InterpretableAnalysis(
-            pai_preprocessor(include_model=True), config
+            pai_preprocessor(include_model=True), config, engine
         )
         model_result = model_workflow.run(
             labelled, {"recsys": "Model = RecSys", "nlp": "Model = NLP"}
@@ -145,13 +150,13 @@ def misc_study(
             model_result["nlp"], "NLP workload rules — PAI (cf. PAI4)", 2, 2
         )
     elif definition.name == "supercloud":
-        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config, engine)
         result = workflow.run(table, {"killed": "Job Killed"})
         tables["killed"] = format_rule_table(
             result["killed"], "Job-kill rules — SuperCloud (cf. CIR1)", 3, 2
         )
     elif definition.name == "philly":
-        workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+        workflow = InterpretableAnalysis(definition.make_preprocessor(), config, engine)
         result = workflow.run(table, {"multi_gpu": "Multi-GPU"})
         tables["multi_gpu"] = format_rule_table(
             result["multi_gpu"], "Multi-GPU rules — Philly (cf. PHI1)", 3, 3
@@ -166,12 +171,13 @@ def full_case_study(
     table: ColumnTable | None = None,
     config: MiningConfig = MiningConfig(),
     n_jobs: int | None = None,
+    engine: MiningEngine | None = None,
 ) -> CaseStudy:
     """Everything Sec. IV reports for one trace, in one call."""
     definition = _resolve(trace)
     if table is None:
         table = definition.generate_scaled(n_jobs=n_jobs)
-    analysis = analyze_trace(definition, table=table, config=config)
+    analysis = analyze_trace(definition, table=table, config=config, engine=engine)
     study = CaseStudy(trace=definition.display_name, analysis=analysis)
     _, study.tables["underutilization"] = underutilization_study(
         definition, config=config, analysis=analysis
@@ -179,5 +185,5 @@ def full_case_study(
     _, study.tables["failure"] = failure_study(
         definition, config=config, analysis=analysis
     )
-    study.tables.update(misc_study(definition, table=table, config=config))
+    study.tables.update(misc_study(definition, table=table, config=config, engine=engine))
     return study

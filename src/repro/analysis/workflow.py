@@ -7,23 +7,20 @@ describes:
     itemsets ──rule generation (min-lift)──▶ rules ──keyword pruning──▶
     cause ("C") and characteristic ("A") rule sets per keyword
 
-One mining pass is shared across all keywords of a study, mirroring the
-paper's "generating all high-quality rules in a single execution"
-(Sec. V).
+Execution is delegated to the :class:`~repro.engine.MiningEngine` staged
+pipeline: one (cached) mining pass is shared across all keywords of a
+study, mirroring the paper's "generating all high-quality rules in a
+single execution" (Sec. V), and every stage reports wall time and
+cardinalities into :attr:`AnalysisResult.stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core import (
-    FrequentItemsets,
-    KeywordRuleSet,
-    MiningConfig,
-    mine_frequent_itemsets,
-    mine_keyword_rules,
-)
+from ..core import FrequentItemsets, KeywordRuleSet, MiningConfig
 from ..dataframe import ColumnTable
+from ..engine import EngineStats, MiningEngine, default_engine
 from ..preprocess import PreprocessResult, TracePreprocessor
 
 __all__ = ["AnalysisResult", "InterpretableAnalysis"]
@@ -37,6 +34,7 @@ class AnalysisResult:
     preprocess: PreprocessResult
     itemsets: FrequentItemsets
     keyword_results: dict[str, KeywordRuleSet] = field(default_factory=dict)
+    stats: EngineStats | None = None
 
     def __getitem__(self, keyword_name: str) -> KeywordRuleSet:
         try:
@@ -64,22 +62,29 @@ class AnalysisResult:
 
 
 class InterpretableAnalysis:
-    """Configured workflow: run once per (trace table, keyword set)."""
+    """Configured workflow: run once per (trace table, keyword set).
+
+    An *engine* can be injected to pin the execution backend or isolate
+    the cache; by default the process-wide shared engine is used, so
+    successive studies on identical trace content reuse one mining pass.
+    """
 
     def __init__(
         self,
         preprocessor: TracePreprocessor,
         config: MiningConfig = MiningConfig(),
+        engine: MiningEngine | None = None,
     ):
         self.preprocessor = preprocessor
         self.config = config
+        self.engine = engine if engine is not None else default_engine()
 
     def run(
         self,
         table: ColumnTable,
         keywords: dict[str, str],
     ) -> AnalysisResult:
-        """Execute the full workflow on *table*.
+        """Execute the full staged pipeline on *table*.
 
         Parameters
         ----------
@@ -87,16 +92,6 @@ class InterpretableAnalysis:
             study name → keyword item text (e.g. ``{"underutilization":
             "SM Util = 0%", "failure": "Failed"}``).  Each keyword gets
             its own pruned cause/characteristic rule sets; the expensive
-            mining pass is shared.
+            mining pass is shared (and engine-cached across runs).
         """
-        preprocess = self.preprocessor.run(table)
-        db = preprocess.database
-        itemsets = mine_frequent_itemsets(db, self.config)
-        result = AnalysisResult(
-            config=self.config, preprocess=preprocess, itemsets=itemsets
-        )
-        for name, keyword in keywords.items():
-            result.keyword_results[name] = mine_keyword_rules(
-                db, keyword, self.config, itemsets=itemsets
-            )
-        return result
+        return self.engine.analyze(self.preprocessor, table, keywords, self.config)

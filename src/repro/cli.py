@@ -9,8 +9,10 @@ Subcommands::
         generate a synthetic trace and save it as CSV
 
     python -m repro analyze --trace supercloud --keyword "Failed" \
-            [--n-jobs 5000 | --input trace.csv] [--min-support 0.05] …
+            [--n-jobs 5000 | --input trace.csv] [--min-support 0.05] \
+            [--backend process --workers 4] [--no-cache] …
         run the full workflow for one keyword and print the rule table
+        plus an engine stats footer (per-stage timing, cache status)
 
     python -m repro casestudy --trace philly --n-jobs 5000
         run every Sec. IV study for one trace
@@ -28,6 +30,7 @@ from typing import Sequence
 from .analysis import InterpretableAnalysis, format_rule_table, full_case_study
 from .core import MiningConfig
 from .dataframe import ColumnTable
+from .engine import BACKENDS, MiningEngine
 from .traces import get_trace, list_traces
 from .traces.loader import load_trace, save_trace
 
@@ -66,10 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("fpgrowth", "apriori", "eclat"))
     ana.add_argument("--max-cause", type=int, default=6)
     ana.add_argument("--max-characteristic", type=int, default=3)
+    _add_engine_flags(ana)
 
     case = sub.add_parser("casestudy", help="run all Sec. IV studies for a trace")
     case.add_argument("--trace", required=True, choices=list_traces())
     case.add_argument("--n-jobs", type=int, default=None)
+    _add_engine_flags(case)
 
     stats = sub.add_parser("stats", help="descriptive characterisation of a trace")
     stats.add_argument("--trace", required=True, choices=list_traces())
@@ -87,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
     ins_source.add_argument("--input", default=None)
 
     return parser
+
+
+def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--backend", default="auto", choices=sorted(BACKENDS),
+                     help="mining execution backend (default: auto)")
+    sub.add_argument("--workers", type=int, default=None,
+                     help="worker count for threaded/process backends")
+    sub.add_argument("--no-cache", action="store_true",
+                     help="disable the content-addressed itemset cache")
+
+
+def _engine_from(args: argparse.Namespace) -> MiningEngine:
+    return MiningEngine(
+        backend=args.backend,
+        n_workers=args.workers,
+        cache=not args.no_cache,
+    )
 
 
 def _config_from(args: argparse.Namespace) -> MiningConfig:
@@ -136,7 +158,9 @@ def cmd_analyze(args: argparse.Namespace) -> str:
     definition = get_trace(args.trace)
     table = _load_or_generate(args)
     config = _config_from(args)
-    workflow = InterpretableAnalysis(definition.make_preprocessor(), config)
+    workflow = InterpretableAnalysis(
+        definition.make_preprocessor(), config, _engine_from(args)
+    )
     result = workflow.run(table, {"query": args.keyword})
     rules = result["query"]
     rule_table = format_rule_table(
@@ -152,12 +176,17 @@ def cmd_analyze(args: argparse.Namespace) -> str:
         f"\n{len(rules)} rules kept of {rules.n_rules_before_pruning} "
         f"generated ({rules.report})"
     )
+    if result.stats is not None:
+        footer += "\n\n" + result.stats.render()
     return str(rule_table) + footer
 
 
 def cmd_casestudy(args: argparse.Namespace) -> str:
-    study = full_case_study(args.trace, n_jobs=args.n_jobs)
-    return study.render()
+    study = full_case_study(args.trace, n_jobs=args.n_jobs, engine=_engine_from(args))
+    rendered = study.render()
+    if study.analysis.stats is not None:
+        rendered += "\n" + study.analysis.stats.render()
+    return rendered
 
 
 def cmd_stats(args: argparse.Namespace) -> str:
@@ -197,7 +226,12 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # honour the documented contract: argument errors *return* 2
+        # (argparse has already printed the usage message); --help is 0
+        return exc.code if isinstance(exc.code, int) else 2
     try:
         output = _COMMANDS[args.command](args)
     except (ValueError, KeyError, FileNotFoundError) as exc:

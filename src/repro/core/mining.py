@@ -64,10 +64,33 @@ class MiningConfig:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; have {sorted(ALGORITHMS)}"
             )
+        if self.min_lift < 0:
+            raise ValueError(f"min_lift must be >= 0, got {self.min_lift}")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ValueError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+        if self.max_len is not None and self.max_len < 1:
+            raise ValueError(f"max_len must be >= 1 (or None), got {self.max_len}")
+        if self.c_lift <= 0:
+            raise ValueError(f"c_lift must be > 0, got {self.c_lift}")
+        if self.c_supp <= 0:
+            raise ValueError(f"c_supp must be > 0, got {self.c_supp}")
 
     def with_(self, **overrides) -> "MiningConfig":
         """A copy of this config with the given fields replaced."""
         return replace(self, **overrides)
+
+    @property
+    def itemset_key(self) -> tuple:
+        """The fields that determine a frequent-itemset result.
+
+        Rule-level knobs (lift, confidence, pruning constants) do not
+        change which itemsets are frequent, so the engine cache keys on
+        this projection only — a lift sweep over one trace is a string of
+        cache hits.
+        """
+        return (self.min_support, self.max_len, self.algorithm)
 
     @property
     def pruning(self) -> PruningConfig:
@@ -106,16 +129,19 @@ class KeywordRuleSet:
 def mine_frequent_itemsets(
     db: TransactionDatabase, config: MiningConfig = MiningConfig()
 ) -> FrequentItemsets:
-    """Run the configured algorithm and wrap its raw counts."""
-    algorithm = ALGORITHMS[config.algorithm]
-    counts = algorithm(db, config.min_support, config.max_len)
-    return FrequentItemsets(
-        counts,
-        db.vocabulary,
-        len(db),
-        min_support=config.min_support,
-        max_len=config.max_len,
-    )
+    """Frequent itemsets of *db*, via the process-wide mining engine.
+
+    This is the one-call convenience path: it routes through
+    :func:`repro.engine.default_engine`, so repeated calls on identical
+    database content (support sweeps, multi-keyword studies, benchmark
+    rounds) are answered from the content-addressed itemset cache.
+    Callers needing a specific backend or an isolated cache build their
+    own :class:`repro.engine.MiningEngine`.
+    """
+    # imported lazily: repro.engine sits one layer above repro.core
+    from ..engine import default_engine
+
+    return default_engine().mine(db, config)
 
 
 def mine_rules(

@@ -16,6 +16,7 @@ Invariants:
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -28,7 +29,13 @@ __all__ = ["TransactionDatabase"]
 class TransactionDatabase:
     """An immutable set of transactions over an interned item vocabulary."""
 
-    __slots__ = ("vocabulary", "indptr", "indices", "_vertical_cache")
+    __slots__ = (
+        "vocabulary",
+        "indptr",
+        "indices",
+        "_vertical_cache",
+        "_fingerprint_cache",
+    )
 
     def __init__(
         self,
@@ -50,6 +57,7 @@ class TransactionDatabase:
         ):
             raise ValueError("item id out of vocabulary range")
         self._vertical_cache: np.ndarray | None = None
+        self._fingerprint_cache: str | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -164,6 +172,25 @@ class TransactionDatabase:
             mat[self.indices, rows] = True
             self._vertical_cache = mat
         return self._vertical_cache
+
+    def fingerprint(self) -> str:
+        """Content hash of the database: transactions plus vocabulary.
+
+        Two databases with identical transactions over identical
+        vocabularies fingerprint equally even when built independently,
+        which is what lets the engine's itemset cache address results by
+        *content* rather than object identity.  Computed lazily and
+        cached — the database is immutable, so the hash never changes.
+        """
+        if self._fingerprint_cache is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(np.ascontiguousarray(self.indptr).tobytes())
+            digest.update(np.ascontiguousarray(self.indices).tobytes())
+            for item in self.vocabulary:
+                digest.update(str(item).encode())
+                digest.update(b"\x00")
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     def support_count(self, itemset: Iterable[int | Item | str]) -> int:
         """σ(X): number of transactions containing every element of X."""

@@ -1,0 +1,223 @@
+"""Execution backends: how a mining pass runs, never what it computes.
+
+A backend turns ``(TransactionDatabase, MiningConfig)`` into
+:class:`~repro.core.itemsets.FrequentItemsets`.  All backends are
+answer-identical — they change the execution plan only:
+
+* ``serial`` — one in-process pass of the configured algorithm;
+* ``threaded`` — SON two-phase over a thread pool (phase 2 is numpy
+  bitmap counting, which releases the GIL);
+* ``process`` — SON two-phase over a fork-based process pool, the shape
+  distributed miners (Spark SON) use at cluster scale;
+* ``auto`` — picks one of the above from the database size.
+
+Backends register in :data:`BACKENDS`, mirroring the
+:data:`~repro.core.mining.ALGORITHMS` registry one layer down.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.itemsets import FrequentItemsets
+from ..core.mining import ALGORITHMS, MiningConfig
+from ..core.transactions import TransactionDatabase
+from ..parallel.partition import count_candidates, local_candidates
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "ProcessBackend",
+    "AutoBackend",
+    "BACKENDS",
+    "register_backend",
+    "get_backend",
+    "AUTO_THREADED_THRESHOLD",
+    "AUTO_PROCESS_THRESHOLD",
+]
+
+#: auto selection: below this many transactions a serial pass wins
+#: (partitioning overhead dominates), above it threads help, and past the
+#: process threshold fork-based workers amortise their startup cost
+AUTO_THREADED_THRESHOLD = 50_000
+AUTO_PROCESS_THRESHOLD = 250_000
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The contract every execution backend satisfies."""
+
+    name: str
+
+    def mine(
+        self, db: TransactionDatabase, config: MiningConfig
+    ) -> FrequentItemsets: ...
+
+    def resolve(self, db: TransactionDatabase) -> "ExecutionBackend":
+        """The concrete backend that will run *db* (self, unless auto)."""
+        ...
+
+
+class SerialBackend:
+    """Single in-process pass of the configured algorithm."""
+
+    name = "serial"
+
+    def mine(self, db: TransactionDatabase, config: MiningConfig) -> FrequentItemsets:
+        algorithm = ALGORITHMS[config.algorithm]
+        counts = algorithm(db, config.min_support, config.max_len)
+        return FrequentItemsets(
+            counts,
+            db.vocabulary,
+            len(db),
+            min_support=config.min_support,
+            max_len=config.max_len,
+        )
+
+    def resolve(self, db: TransactionDatabase) -> "SerialBackend":
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class _PartitionedBackend:
+    """SON two-phase mining; subclasses pick the phase-1 executor.
+
+    Phase 1 mines each partition at the same relative support (the
+    pigeonhole argument makes the union a complete candidate set); phase
+    2 counts every candidate exactly over the full database's vertical
+    bitmaps.  The result is bit-exact against a serial pass — SON changes
+    the execution plan, not the answer.
+    """
+
+    name = "partitioned"
+    _executor_cls: type[Executor]
+
+    def __init__(self, n_workers: int | None = None, n_partitions: int | None = None):
+        if n_workers is None:
+            n_workers = min(4, os.cpu_count() or 1)
+        if n_partitions is None:
+            n_partitions = max(n_workers, 2)
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.n_partitions = n_partitions
+
+    def mine(self, db: TransactionDatabase, config: MiningConfig) -> FrequentItemsets:
+        n = len(db)
+        if n == 0:
+            return FrequentItemsets(
+                {}, db.vocabulary, 0, config.min_support, config.max_len
+            )
+        parts = db.split(self.n_partitions)
+        args = (
+            parts,
+            [config.min_support] * len(parts),
+            [config.max_len] * len(parts),
+            [config.algorithm] * len(parts),
+        )
+        if self.n_workers == 1 or len(parts) == 1:
+            locals_ = [local_candidates(*a) for a in zip(*args)]
+        else:
+            with self._executor_cls(
+                max_workers=min(self.n_workers, len(parts))
+            ) as pool:
+                locals_ = list(pool.map(local_candidates, *args))
+
+        candidates: set[frozenset[int]] = set()
+        for c in locals_:
+            candidates |= c
+
+        counts = count_candidates(db, candidates, vertical=db.vertical())
+        min_count = max(1, int(np.ceil(config.min_support * n - 1e-9)))
+        frequent = {s: c for s, c in counts.items() if c >= min_count}
+        return FrequentItemsets(
+            frequent, db.vocabulary, n, config.min_support, config.max_len
+        )
+
+    def resolve(self, db: TransactionDatabase) -> "_PartitionedBackend":
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n_workers={self.n_workers}, "
+            f"n_partitions={self.n_partitions})"
+        )
+
+
+class ThreadedBackend(_PartitionedBackend):
+    """SON over a thread pool (shared-memory, no pickling)."""
+
+    name = "threaded"
+    _executor_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_PartitionedBackend):
+    """SON over a fork-based process pool (the distributed-miner shape)."""
+
+    name = "process"
+    _executor_cls = ProcessPoolExecutor
+
+
+class AutoBackend:
+    """Size-based backend selection, resolved per database at mine time."""
+
+    name = "auto"
+
+    def __init__(self, n_workers: int | None = None, n_partitions: int | None = None):
+        self._serial = SerialBackend()
+        self._threaded = ThreadedBackend(n_workers, n_partitions)
+        self._process = ProcessBackend(n_workers, n_partitions)
+
+    def resolve(self, db: TransactionDatabase) -> ExecutionBackend:
+        n = len(db)
+        if n < AUTO_THREADED_THRESHOLD:
+            return self._serial
+        if n < AUTO_PROCESS_THRESHOLD:
+            return self._threaded
+        return self._process
+
+    def mine(self, db: TransactionDatabase, config: MiningConfig) -> FrequentItemsets:
+        return self.resolve(db).mine(db, config)
+
+    def __repr__(self) -> str:
+        return f"AutoBackend(n_workers={self._threaded.n_workers})"
+
+
+#: backend registry — name → factory accepting (n_workers=, n_partitions=)
+BACKENDS: dict[str, Callable[..., ExecutionBackend]] = {
+    "serial": lambda n_workers=None, n_partitions=None: SerialBackend(),
+    "threaded": ThreadedBackend,
+    "process": ProcessBackend,
+    "auto": AutoBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend]) -> None:
+    """Add a custom backend under *name* (overwriting is an error)."""
+    if name in BACKENDS:
+        raise ValueError(f"backend {name!r} is already registered")
+    BACKENDS[name] = factory
+
+
+def get_backend(
+    name: str,
+    n_workers: int | None = None,
+    n_partitions: int | None = None,
+) -> ExecutionBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; have {sorted(BACKENDS)}"
+        ) from None
+    return factory(n_workers=n_workers, n_partitions=n_partitions)

@@ -1,0 +1,247 @@
+"""The unified mining engine — single entry point for every caller.
+
+:class:`MiningEngine` composes an execution backend (how a mining pass
+runs) with a content-addressed itemset cache (whether it needs to run at
+all) and the staged pipeline ``preprocess → mine → generate-rules →
+prune`` that instruments each stage into :class:`EngineStats`.
+
+Every layer of the stack routes through here: the one-call helpers in
+:mod:`repro.core.mining`, the :class:`InterpretableAnalysis` workflow and
+case studies, the streaming window miner, the CLI, and the benchmark
+harness.  A module-level default engine gives them a shared cache, so a
+support sweep, a second keyword study or a repeated benchmark run on the
+same trace content never mines twice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.itemsets import FrequentItemsets
+from ..core.items import Item, as_item
+from ..core.mining import KeywordRuleSet, MiningConfig
+from ..core.pruning import PruningReport, prune_rules
+from ..core.rules import AssociationRule, generate_rules
+from ..core.transactions import TransactionDatabase
+from .backends import ExecutionBackend, get_backend
+from .cache import CacheStats, ItemsetCache
+from .stats import EngineStats, StageStats, StageTimer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis.workflow import AnalysisResult
+    from ..dataframe import ColumnTable
+    from ..preprocess import TracePreprocessor
+
+__all__ = ["MiningEngine", "default_engine", "set_default_engine"]
+
+
+class MiningEngine:
+    """Backend + cache + instrumented pipeline, in one object.
+
+    Parameters
+    ----------
+    backend:
+        A backend name from :data:`~repro.engine.backends.BACKENDS`
+        (``"auto"`` by default) or an already-built
+        :class:`ExecutionBackend` instance.
+    n_workers, n_partitions:
+        Forwarded to the backend factory when *backend* is a name.
+    cache:
+        ``True`` (own LRU cache), ``False``/``None`` (no caching), or an
+        :class:`ItemsetCache` instance to share between engines.
+    """
+
+    def __init__(
+        self,
+        backend: str | ExecutionBackend = "auto",
+        *,
+        n_workers: int | None = None,
+        n_partitions: int | None = None,
+        cache: bool | ItemsetCache | None = True,
+    ):
+        if isinstance(backend, str):
+            backend = get_backend(backend, n_workers=n_workers, n_partitions=n_partitions)
+        self.backend: ExecutionBackend = backend
+        if cache is True:
+            self.cache: ItemsetCache | None = ItemsetCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+
+    def __repr__(self) -> str:
+        return (
+            f"MiningEngine(backend={self.backend!r}, "
+            f"cache={'off' if self.cache is None else len(self.cache)})"
+        )
+
+    # -- mining ------------------------------------------------------------------
+    def cache_key(self, db: TransactionDatabase, config: MiningConfig) -> tuple:
+        """Content-addressed key: database fingerprint × itemset config."""
+        return (db.fingerprint(), config.itemset_key)
+
+    def mine(
+        self, db: TransactionDatabase, config: MiningConfig = MiningConfig()
+    ) -> FrequentItemsets:
+        """Frequent itemsets of *db* — cached, backend-executed."""
+        itemsets, _ = self.mine_with_status(db, config)
+        return itemsets
+
+    def mine_with_status(
+        self, db: TransactionDatabase, config: MiningConfig = MiningConfig()
+    ) -> tuple[FrequentItemsets, str]:
+        """Like :meth:`mine`, also reporting ``"hit"``/``"miss"``/``"off"``."""
+        if self.cache is None:
+            return self.backend.resolve(db).mine(db, config), "off"
+        key = self.cache_key(db, config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, "hit"
+        itemsets = self.backend.resolve(db).mine(db, config)
+        self.cache.put(key, itemsets)
+        return itemsets, "miss"
+
+    def cache_stats(self) -> CacheStats | None:
+        """Lifetime counters of the attached cache (None when disabled)."""
+        return None if self.cache is None else self.cache.stats()
+
+    # -- keyword rules ----------------------------------------------------------
+    def keyword_rules(
+        self,
+        db: TransactionDatabase,
+        keyword: Item | str,
+        config: MiningConfig = MiningConfig(),
+        itemsets: FrequentItemsets | None = None,
+    ) -> KeywordRuleSet:
+        """Full keyword workflow (mine → generate → prune), engine-cached."""
+        if itemsets is None:
+            itemsets = self.mine(db, config)
+        kw = as_item(keyword)
+        generated = self._generate_for_keyword(db, kw, itemsets, config)
+        if generated is None:
+            return _empty_ruleset(kw)
+        return _prune_into_ruleset(generated, kw, config)
+
+    def _generate_for_keyword(
+        self,
+        db: TransactionDatabase,
+        kw: Item,
+        itemsets: FrequentItemsets,
+        config: MiningConfig,
+    ) -> list[AssociationRule] | None:
+        """Lift/confidence-filtered rules touching *kw*; None if unseen."""
+        kw_id = db.vocabulary.get_id(kw)
+        if kw_id is None:
+            return None
+        return generate_rules(
+            itemsets,
+            min_lift=config.min_lift,
+            min_confidence=config.min_confidence,
+            keyword_ids=(kw_id,),
+        )
+
+    # -- the staged pipeline ------------------------------------------------------
+    def analyze(
+        self,
+        preprocessor: "TracePreprocessor",
+        table: "ColumnTable",
+        keywords: dict[str, Item | str],
+        config: MiningConfig = MiningConfig(),
+    ) -> "AnalysisResult":
+        """Run ``preprocess → mine → generate-rules → prune`` on *table*.
+
+        One (cached) mining pass is shared across all keywords of the
+        study; each stage's wall time, cardinalities and cache status are
+        recorded into the result's :attr:`~AnalysisResult.stats`.
+        """
+        from ..analysis.workflow import AnalysisResult
+
+        stats = EngineStats(backend=self.backend.name)
+
+        with StageTimer() as t:
+            preprocess = preprocessor.run(table)
+        db = preprocess.database
+        stats.add(StageStats("preprocess", t.seconds, len(table), len(db)))
+
+        with StageTimer() as t:
+            itemsets, cache_status = self.mine_with_status(db, config)
+        resolved = self.backend.resolve(db)
+        if resolved is not self.backend:
+            stats.backend = f"{self.backend.name}:{resolved.name}"
+        stats.add(
+            StageStats("mine", t.seconds, len(db), len(itemsets), cache_status)
+        )
+
+        result = AnalysisResult(
+            config=config, preprocess=preprocess, itemsets=itemsets, stats=stats
+        )
+
+        generate_seconds = prune_seconds = 0.0
+        n_generated = n_kept = 0
+        for name, keyword in keywords.items():
+            kw = as_item(keyword)
+            with StageTimer() as t:
+                rules = self._generate_for_keyword(db, kw, itemsets, config)
+            generate_seconds += t.seconds
+            if rules is None:
+                result.keyword_results[name] = _empty_ruleset(kw)
+                continue
+            n_generated += len(rules)
+            with StageTimer() as t:
+                ruleset = _prune_into_ruleset(rules, kw, config)
+            prune_seconds += t.seconds
+            n_kept += len(ruleset)
+            result.keyword_results[name] = ruleset
+
+        stats.add(
+            StageStats("generate-rules", generate_seconds, len(itemsets), n_generated)
+        )
+        stats.add(StageStats("prune", prune_seconds, n_generated, n_kept))
+        return result
+
+
+def _empty_ruleset(kw: Item) -> KeywordRuleSet:
+    """The keyword never appears in the trace; nothing to analyse."""
+    return KeywordRuleSet(
+        keyword=kw,
+        cause=(),
+        characteristic=(),
+        report=PruningReport(),
+        n_rules_before_pruning=0,
+    )
+
+
+def _prune_into_ruleset(
+    rules: list[AssociationRule], kw: Item, config: MiningConfig
+) -> KeywordRuleSet:
+    """Apply Conditions 1–4 and split into cause ("C") / characteristic ("A")."""
+    kept, report = prune_rules(rules, kw, config.pruning)
+    return KeywordRuleSet(
+        keyword=kw,
+        cause=tuple(r for r in kept if kw in r.consequent),
+        characteristic=tuple(r for r in kept if kw in r.antecedent),
+        report=report,
+        n_rules_before_pruning=len(rules),
+    )
+
+
+#: process-wide default engine: auto backend, shared content-addressed
+#: cache — what the one-call helpers and the workflow use unless told
+#: otherwise
+_DEFAULT_ENGINE: MiningEngine | None = None
+
+
+def default_engine() -> MiningEngine:
+    """The process-wide shared engine (created on first use)."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = MiningEngine()
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: MiningEngine | None) -> MiningEngine | None:
+    """Replace the shared engine (None resets to a fresh lazy default)."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+    return previous

@@ -1,0 +1,117 @@
+"""Per-stage instrumentation for the mining engine.
+
+Every engine run reports, per pipeline stage, the wall time, the input
+and output cardinality, and whether the itemset cache answered the mine
+stage.  The result is a machine-readable :class:`EngineStats` attached to
+:class:`~repro.analysis.workflow.AnalysisResult`, so operators (and the
+CLI stats footer) can see where a run spent its time without profiling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["StageStats", "EngineStats", "StageTimer", "CACHE_STATES"]
+
+#: valid values of :attr:`StageStats.cache`
+CACHE_STATES = ("hit", "miss", "off", "n/a")
+
+
+@dataclass(frozen=True, slots=True)
+class StageStats:
+    """Instrumentation record of one pipeline stage."""
+
+    name: str
+    seconds: float
+    n_in: int
+    n_out: int
+    cache: str = "n/a"
+
+    def __post_init__(self) -> None:
+        if self.cache not in CACHE_STATES:
+            raise ValueError(f"cache must be one of {CACHE_STATES}, got {self.cache!r}")
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "cache": self.cache,
+        }
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Everything one engine run measured, in stage order."""
+
+    backend: str
+    stages: list[StageStats] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def add(self, stage: StageStats) -> None:
+        self.stages.append(stage)
+        if stage.cache == "hit":
+            self.cache_hits += 1
+        elif stage.cache == "miss":
+            self.cache_misses += 1
+
+    def stage(self, name: str) -> StageStats:
+        """The first recorded stage called *name*; KeyError if absent."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(
+            f"no stage named {name!r}; have {[s.name for s in self.stages]}"
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def as_dict(self) -> dict:
+        """Machine-readable schema (documented in DESIGN.md §6)."""
+        return {
+            "backend": self.backend,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "total_seconds": self.total_seconds,
+            "stages": [stage.as_dict() for stage in self.stages],
+        }
+
+    def render(self) -> str:
+        """Plain-text footer for the CLI (one line per stage)."""
+        lines = [
+            f"engine stats — backend={self.backend} "
+            f"cache={self.cache_hits} hit / {self.cache_misses} miss "
+            f"total={self.total_seconds:.3f}s"
+        ]
+        for stage in self.stages:
+            lines.append(
+                f"  {stage.name:<14} {stage.seconds:>8.3f}s  "
+                f"in={stage.n_in:<8} out={stage.n_out:<8} cache={stage.cache}"
+            )
+        return "\n".join(lines)
+
+
+class StageTimer:
+    """Context manager measuring one stage's wall time.
+
+    Usage::
+
+        with StageTimer() as t:
+            ...work...
+        stats.add(StageStats("mine", t.seconds, n_in, n_out, "miss"))
+    """
+
+    __slots__ = ("_start", "seconds")
+
+    def __enter__(self) -> "StageTimer":
+        self.seconds = 0.0
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

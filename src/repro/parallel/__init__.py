@@ -1,4 +1,10 @@
-"""Parallel / partitioned mining (SON two-phase scheme)."""
+"""Parallel / partitioned mining primitives (SON two-phase scheme).
+
+The phase functions here are executed by the engine's partitioned
+backends (:mod:`repro.engine.backends`); ``son_mine`` is a deprecated
+shim kept for one release — new code routes through
+:class:`repro.engine.MiningEngine` with ``backend="process"``.
+"""
 
 from .partition import count_candidates, local_candidates, son_mine
 from .rulegen import parallel_generate_rules

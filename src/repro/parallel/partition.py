@@ -15,16 +15,21 @@ algorithm is the canonical two-phase scheme those systems implement:
 Phase 1 parallelises embarrassingly; phase 2 is a vectorised bitmap count
 here.  Results are bit-exact against single-machine FP-Growth, which the
 test suite property-checks.
+
+This module provides the two SON phase primitives that
+:class:`repro.engine.backends.ProcessBackend` (and its threaded sibling)
+execute; the historical :func:`son_mine` entry point is now a deprecated
+shim over that backend.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 
 import numpy as np
 
 from ..core.itemsets import FrequentItemsets
-from ..core.mining import ALGORITHMS
+from ..core.mining import ALGORITHMS, MiningConfig
 from ..core.transactions import TransactionDatabase
 
 __all__ = ["son_mine", "count_candidates", "local_candidates"]
@@ -42,10 +47,19 @@ def local_candidates(
 
 
 def count_candidates(
-    db: TransactionDatabase, candidates: set[frozenset[int]]
+    db: TransactionDatabase,
+    candidates: set[frozenset[int]],
+    vertical: np.ndarray | None = None,
 ) -> dict[frozenset[int], int]:
-    """Exact global support counts of *candidates* via vertical bitmaps."""
-    vertical = db.vertical()
+    """Exact global support counts of *candidates* via vertical bitmaps.
+
+    Pass a precomputed *vertical* occurrence matrix (``db.vertical()``)
+    to reuse one bitmap build across several counting passes — the engine
+    does this so phase-2 counting shares the memoised bitmap instead of
+    recomputing it per call.
+    """
+    if vertical is None:
+        vertical = db.vertical()
     out: dict[frozenset[int], int] = {}
     for itemset in candidates:
         ids = sorted(itemset)
@@ -64,45 +78,25 @@ def son_mine(
     n_workers: int = 1,
     algorithm: str = "fpgrowth",
 ) -> FrequentItemsets:
-    """Mine frequent itemsets with the two-phase SON scheme.
+    """Deprecated shim: SON mining now lives in the engine layer.
 
-    With ``n_workers > 1`` phase 1 runs in a process pool (fork-based,
-    POSIX); ``n_workers=1`` runs the same partitioned algorithm serially,
-    which is what the soundness tests exercise deterministically.
-
-    The result is identical to running :func:`fpgrowth` on the whole
-    database — SON changes the execution plan, not the answer.
+    Use ``MiningEngine(backend="process", n_workers=..., n_partitions=...)``
+    (or the ``--backend process`` CLI flag) instead.  This wrapper stays
+    for one release and delegates to the same
+    :class:`~repro.engine.backends.ProcessBackend` implementation, so
+    results remain bit-exact with previous versions.
     """
-    if n_partitions < 1:
-        raise ValueError("n_partitions must be >= 1")
-    if n_workers < 1:
-        raise ValueError("n_workers must be >= 1")
-    n = len(db)
-    if n == 0:
-        return FrequentItemsets({}, db.vocabulary, 0, min_support, max_len)
+    warnings.warn(
+        "son_mine is deprecated; route through repro.engine.MiningEngine"
+        " with backend='process' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    # imported lazily: the engine layer sits above repro.parallel
+    from ..engine.backends import ProcessBackend
 
-    parts = db.split(n_partitions)
-    if n_workers == 1 or len(parts) == 1:
-        locals_ = [
-            local_candidates(part, min_support, max_len, algorithm) for part in parts
-        ]
-    else:
-        with ProcessPoolExecutor(max_workers=min(n_workers, len(parts))) as pool:
-            locals_ = list(
-                pool.map(
-                    local_candidates,
-                    parts,
-                    [min_support] * len(parts),
-                    [max_len] * len(parts),
-                    [algorithm] * len(parts),
-                )
-            )
-
-    candidates: set[frozenset[int]] = set()
-    for c in locals_:
-        candidates |= c
-
-    counts = count_candidates(db, candidates)
-    min_count = max(1, int(np.ceil(min_support * n - 1e-9)))
-    frequent = {s: c for s, c in counts.items() if c >= min_count}
-    return FrequentItemsets(frequent, db.vocabulary, n, min_support, max_len)
+    backend = ProcessBackend(n_workers=n_workers, n_partitions=n_partitions)
+    config = MiningConfig(
+        min_support=min_support, max_len=max_len, algorithm=algorithm
+    )
+    return backend.mine(db, config)

@@ -21,8 +21,9 @@ import numpy as np
 
 from ..core.items import Item, ItemVocabulary, as_item
 from ..core.itemsets import FrequentItemsets
-from ..core.mining import ALGORITHMS, MiningConfig
+from ..core.mining import MiningConfig
 from ..core.transactions import TransactionDatabase
+from ..engine import MiningEngine, default_engine
 
 __all__ = ["SlidingWindowMiner"]
 
@@ -41,11 +42,13 @@ class SlidingWindowMiner:
         window_size: int,
         config: MiningConfig = MiningConfig(),
         vocabulary: ItemVocabulary | None = None,
+        engine: MiningEngine | None = None,
     ):
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         self.window_size = window_size
         self.config = config
+        self.engine = engine if engine is not None else default_engine()
         self.vocabulary = vocabulary if vocabulary is not None else ItemVocabulary()
         self._window: deque[tuple[int, ...]] = deque()
         self._item_counts: dict[int, int] = {}
@@ -104,14 +107,10 @@ class SlidingWindowMiner:
         )
 
     def mine(self) -> FrequentItemsets:
-        """Frequent itemsets of the current window (configured algorithm)."""
-        db = self.snapshot()
-        algorithm = ALGORITHMS[self.config.algorithm]
-        counts = algorithm(db, self.config.min_support, self.config.max_len)
-        return FrequentItemsets(
-            counts,
-            self.vocabulary,
-            len(db),
-            self.config.min_support,
-            self.config.max_len,
-        )
+        """Frequent itemsets of the current window, via the engine.
+
+        Repeated calls over an unchanged window are answered from the
+        engine's content-addressed cache; any ``observe`` changes the
+        snapshot fingerprint and forces a fresh pass.
+        """
+        return self.engine.mine(self.snapshot(), self.config)

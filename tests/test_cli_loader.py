@@ -91,9 +91,33 @@ class TestCli:
         assert "Case study" in out
         assert "underutilization" in out or "GPU underutilization" in out
 
-    def test_unknown_trace_rejected_by_argparse(self):
-        with pytest.raises(SystemExit):
-            main(["analyze", "--trace", "helios", "--keyword", "Failed"])
+    def test_unknown_trace_exits_2(self, capsys):
+        # the module docstring promises exit status 2 on argument errors
+        assert main(["analyze", "--trace", "helios", "--keyword", "Failed"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_unknown_backend_exits_2(self, capsys):
+        code = main(
+            ["analyze", "--trace", "pai", "--keyword", "Failed",
+             "--backend", "quantum"]
+        )
+        assert code == 2
+        assert "--backend" in capsys.readouterr().err
+
+    def test_missing_subcommand_exits_2(self, capsys):
+        assert main([]) == 2
+
+    def test_help_exits_0(self, capsys):
+        assert main(["--help"]) == 0
+        assert "casestudy" in capsys.readouterr().out
+
+    def test_invalid_workers_exits_2(self, capsys):
+        code = main(
+            ["analyze", "--trace", "supercloud", "--keyword", "Failed",
+             "--n-jobs", "1500", "--backend", "threaded", "--workers", "0"]
+        )
+        assert code == 2
+        assert "n_workers" in capsys.readouterr().err
 
     def test_missing_input_file_is_error_exit(self, capsys):
         code = main(
@@ -102,6 +126,36 @@ class TestCli:
         )
         assert code == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCliEngineFlags:
+    def test_stats_footer_rendered(self, capsys):
+        code = main(
+            ["analyze", "--trace", "supercloud", "--keyword", "Failed",
+             "--n-jobs", "2000", "--max-cause", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine stats" in out
+        for stage in ("preprocess", "mine", "generate-rules", "prune"):
+            assert stage in out
+
+    def test_process_backend(self, capsys):
+        code = main(
+            ["analyze", "--trace", "supercloud", "--keyword", "Failed",
+             "--n-jobs", "2000", "--backend", "process", "--workers", "2",
+             "--max-cause", "2"]
+        )
+        assert code == 0
+        assert "backend=process" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys):
+        code = main(
+            ["analyze", "--trace", "supercloud", "--keyword", "Failed",
+             "--n-jobs", "2000", "--no-cache", "--max-cause", "2"]
+        )
+        assert code == 0
+        assert "cache=off" in capsys.readouterr().out
 
 
 class TestCliExtensions:

@@ -35,6 +35,40 @@ class TestMiningConfig:
         with pytest.raises(ValueError, match="unknown algorithm"):
             MiningConfig(algorithm="magic")
 
+    def test_invalid_min_lift(self):
+        with pytest.raises(ValueError, match="min_lift must be >= 0"):
+            MiningConfig(min_lift=-0.5)
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_invalid_min_confidence(self, value):
+        with pytest.raises(ValueError, match=r"min_confidence must be in \[0, 1\]"):
+            MiningConfig(min_confidence=value)
+
+    @pytest.mark.parametrize("value", [0, -3])
+    def test_invalid_max_len(self, value):
+        with pytest.raises(ValueError, match="max_len must be >= 1"):
+            MiningConfig(max_len=value)
+
+    def test_max_len_none_allowed(self):
+        assert MiningConfig(max_len=None).max_len is None
+
+    @pytest.mark.parametrize("field", ["c_lift", "c_supp"])
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_invalid_pruning_constants(self, field, value):
+        with pytest.raises(ValueError, match=f"{field} must be > 0"):
+            MiningConfig(**{field: value})
+
+    def test_boundary_values_accepted(self):
+        cfg = MiningConfig(min_lift=0.0, min_confidence=1.0, max_len=1)
+        assert cfg.min_lift == 0.0
+
+    def test_itemset_key_projects_mining_fields(self):
+        a = MiningConfig(min_lift=1.5)
+        b = MiningConfig(min_lift=3.0)
+        assert a.itemset_key == b.itemset_key
+        assert a.itemset_key != MiningConfig(min_support=0.1).itemset_key
+        assert a.itemset_key != MiningConfig(algorithm="eclat").itemset_key
+
     def test_pruning_view(self):
         cfg = MiningConfig(c_lift=2.0, c_supp=3.0)
         assert cfg.pruning.c_lift == 2.0

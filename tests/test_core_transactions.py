@@ -116,3 +116,69 @@ class TestProjections:
         decoded = list(toy_db.iter_item_transactions())
         assert len(decoded) == 5
         assert Item.flag("bread") in decoded[0]
+
+
+class TestFingerprint:
+    """Content addressing: equal content ⇔ equal key, any perturbation differs."""
+
+    TXNS = [
+        ["bread", "milk"],
+        ["bread", "diapers", "beer", "eggs"],
+        ["milk", "diapers", "beer", "cola"],
+        ["bread", "milk", "diapers", "beer"],
+        ["bread", "milk", "diapers", "cola"],
+    ]
+
+    def test_equal_content_equal_key(self):
+        a = TransactionDatabase.from_itemsets(self.TXNS)
+        b = TransactionDatabase.from_itemsets([list(t) for t in self.TXNS])
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_stable_across_calls(self, toy_db):
+        assert toy_db.fingerprint() == toy_db.fingerprint()
+
+    def test_transaction_perturbations_change_key(self):
+        import random
+
+        rng = random.Random(7)
+        base = TransactionDatabase.from_itemsets(self.TXNS)
+        seen = {base.fingerprint()}
+        # property-style loop: drop a transaction, drop an item, add an
+        # item, or rename an item — every perturbation must change the key
+        for trial in range(30):
+            txns = [list(t) for t in self.TXNS]
+            kind = trial % 4
+            if kind == 0:
+                txns.pop(rng.randrange(len(txns)))
+            elif kind == 1:
+                t = txns[rng.randrange(len(txns))]
+                if len(t) > 1:
+                    t.pop(rng.randrange(len(t)))
+                else:
+                    t.append("extra")
+            elif kind == 2:
+                txns[rng.randrange(len(txns))].append(f"new{trial}")
+            else:
+                i = rng.randrange(len(txns))
+                j = rng.randrange(len(txns[i]))
+                txns[i][j] = txns[i][j] + "_renamed"
+            fp = TransactionDatabase.from_itemsets(txns).fingerprint()
+            assert fp != base.fingerprint(), f"perturbation {trial} collided"
+            seen.add(fp)
+        assert len(seen) > 1
+
+    def test_vocabulary_identity_matters(self):
+        # same index structure over different item names must differ
+        a = TransactionDatabase.from_itemsets([["a", "b"], ["a"]])
+        b = TransactionDatabase.from_itemsets([["x", "y"], ["x"]])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_transaction_order_matters(self):
+        a = TransactionDatabase.from_itemsets([["a"], ["b"]])
+        b = TransactionDatabase.from_itemsets([["b"], ["a"]])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_empty_vs_nonempty(self):
+        empty = TransactionDatabase.from_itemsets([])
+        one = TransactionDatabase.from_itemsets([["a"]])
+        assert empty.fingerprint() != one.fingerprint()

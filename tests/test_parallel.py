@@ -1,37 +1,55 @@
-"""Tests for SON partitioned mining: soundness and completeness."""
+"""Tests for SON phase primitives and the deprecated son_mine shim.
+
+Backend-level equivalence (serial/threaded/process × algorithms) lives in
+``test_engine.py``; this file covers the SON phase functions the engine's
+partitioned backends execute, plus the one-release deprecation shim.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MiningConfig, TransactionDatabase, fpgrowth, mine_frequent_itemsets
+from repro.core import MiningConfig, TransactionDatabase, fpgrowth
+from repro.engine import MiningEngine, ProcessBackend
 from repro.parallel import count_candidates, local_candidates, son_mine
+
+
+def _process_mine(db, min_support, max_len=None, n_partitions=4, n_workers=1,
+                  algorithm="fpgrowth"):
+    engine = MiningEngine(
+        backend="process", n_workers=n_workers, n_partitions=n_partitions,
+        cache=False,
+    )
+    return engine.mine(
+        db,
+        MiningConfig(min_support=min_support, max_len=max_len, algorithm=algorithm),
+    )
 
 
 class TestSonSerial:
     @pytest.mark.parametrize("n_partitions", [1, 2, 3, 5])
     def test_matches_fpgrowth(self, toy_db, n_partitions):
-        son = son_mine(toy_db, min_support=0.4, n_partitions=n_partitions)
+        son = _process_mine(toy_db, 0.4, n_partitions=n_partitions)
         reference = fpgrowth(toy_db, 0.4)
         assert son.counts == reference
 
     def test_empty_database(self):
         db = TransactionDatabase.from_itemsets([])
-        assert len(son_mine(db, 0.5)) == 0
+        assert len(_process_mine(db, 0.5)) == 0
 
     def test_invalid_params(self, toy_db):
         with pytest.raises(ValueError):
-            son_mine(toy_db, n_partitions=0)
+            ProcessBackend(n_partitions=0)
         with pytest.raises(ValueError):
-            son_mine(toy_db, n_workers=0)
+            ProcessBackend(n_workers=0)
 
     @pytest.mark.parametrize("algorithm", ["fpgrowth", "apriori", "eclat"])
     def test_any_local_algorithm(self, toy_db, algorithm):
-        son = son_mine(toy_db, 0.4, n_partitions=2, algorithm=algorithm)
+        son = _process_mine(toy_db, 0.4, n_partitions=2, algorithm=algorithm)
         assert son.counts == fpgrowth(toy_db, 0.4)
 
     def test_max_len_respected(self, toy_db):
-        son = son_mine(toy_db, 0.2, max_len=2, n_partitions=2)
+        son = _process_mine(toy_db, 0.2, max_len=2, n_partitions=2)
         assert all(len(s) <= 2 for s in son.counts)
 
 
@@ -51,19 +69,54 @@ class TestPhases:
         for itemset, count in counts.items():
             assert count == toy_db.support_count(itemset)
 
+    def test_count_candidates_accepts_precomputed_vertical(self, toy_db):
+        candidates = {frozenset({0}), frozenset({1, 2})}
+        vertical = toy_db.vertical()
+        assert count_candidates(toy_db, candidates, vertical=vertical) == (
+            count_candidates(toy_db, candidates)
+        )
+
+    def test_count_candidates_vertical_not_rebuilt(self, toy_db, monkeypatch):
+        vertical = toy_db.vertical()
+        monkeypatch.setattr(
+            type(toy_db), "vertical",
+            lambda self: (_ for _ in ()).throw(AssertionError("rebuilt vertical")),
+        )
+        counts = count_candidates(toy_db, {frozenset({0})}, vertical=vertical)
+        assert counts[frozenset({0})] == int(vertical[0].sum())
+
 
 class TestSonParallel:
     def test_process_pool_matches_serial(self, toy_db):
-        serial = son_mine(toy_db, 0.4, n_partitions=2, n_workers=1)
-        parallel = son_mine(toy_db, 0.4, n_partitions=2, n_workers=2)
+        serial = _process_mine(toy_db, 0.4, n_partitions=2, n_workers=1)
+        parallel = _process_mine(toy_db, 0.4, n_partitions=2, n_workers=2)
         assert serial.counts == parallel.counts
 
     def test_trace_scale_parallel(self, supercloud_db):
-        son = son_mine(supercloud_db, 0.05, max_len=3, n_partitions=4, n_workers=2)
-        reference = mine_frequent_itemsets(
+        son = _process_mine(
+            supercloud_db, 0.05, max_len=3, n_partitions=4, n_workers=2
+        )
+        reference = MiningEngine(backend="serial", cache=False).mine(
             supercloud_db, MiningConfig(min_support=0.05, max_len=3)
         )
         assert son.counts == reference.counts
+
+
+class TestDeprecatedShim:
+    def test_son_mine_warns_and_matches(self, toy_db):
+        with pytest.deprecated_call():
+            son = son_mine(toy_db, 0.4, n_partitions=2)
+        assert son.counts == fpgrowth(toy_db, 0.4)
+
+    def test_son_mine_importable_from_top_level(self):
+        from repro import son_mine as top_level
+
+        assert top_level is son_mine
+
+    def test_son_mine_invalid_params_still_raise(self, toy_db):
+        with pytest.raises(ValueError):
+            with pytest.deprecated_call():
+                son_mine(toy_db, n_partitions=0)
 
 
 @st.composite
@@ -86,5 +139,18 @@ def random_db(draw):
 )
 @settings(max_examples=60, deadline=None)
 def test_son_equivalence_property(db, min_support, n_partitions):
-    son = son_mine(db, min_support, n_partitions=n_partitions)
+    son = _process_mine(db, min_support, n_partitions=n_partitions)
     assert son.counts == fpgrowth(db, min_support)
+
+
+@given(
+    db=random_db(),
+    min_support=st.sampled_from([0.1, 0.3, 0.5]),
+    backend=st.sampled_from(["serial", "threaded", "process"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_engine_backend_equivalence_property(db, min_support, backend):
+    """Extension of the SON property test across the engine matrix."""
+    engine = MiningEngine(backend=backend, n_workers=2, n_partitions=3, cache=False)
+    mined = engine.mine(db, MiningConfig(min_support=min_support, max_len=None))
+    assert mined.counts == fpgrowth(db, min_support)
