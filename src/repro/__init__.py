@@ -20,6 +20,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.analysis` — the end-to-end workflow and case studies;
 * :mod:`repro.engine` — the unified mining engine (pluggable execution
   backends, content-addressed itemset cache, per-stage instrumentation);
+* :mod:`repro.serve` — online rule serving (persistent RuleBook,
+  inverted-index matcher, asyncio service with batching/backpressure);
 * :mod:`repro.parallel` — SON phase primitives used by the engine's
   partitioned backends;
 * :mod:`repro.dataframe` — the minimal columnar-table substrate;
@@ -65,6 +67,7 @@ from .engine import (
 )
 from .parallel import son_mine  # deprecated shim, kept for one release
 from .predict import RuleClassifier, evaluate_predictions, split_database
+from .serve import RuleBook, RuleIndex, RuleService, RuleServiceClient
 from .streaming import SlidingWindowMiner
 from .preprocess import TracePreprocessor, TransactionEncoder
 from .traces import TRACES, get_trace, list_traces
@@ -122,4 +125,9 @@ __all__ = [
     "split_database",
     # streaming
     "SlidingWindowMiner",
+    # serving
+    "RuleBook",
+    "RuleIndex",
+    "RuleService",
+    "RuleServiceClient",
 ]

@@ -17,11 +17,15 @@ cardinalities into :attr:`AnalysisResult.stats`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core import FrequentItemsets, KeywordRuleSet, MiningConfig
 from ..dataframe import ColumnTable
 from ..engine import EngineStats, MiningEngine, default_engine
 from ..preprocess import PreprocessResult, TracePreprocessor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (serve sits above analysis)
+    from ..serve import RuleBook
 
 __all__ = ["AnalysisResult", "InterpretableAnalysis"]
 
@@ -44,6 +48,20 @@ class AnalysisResult:
                 f"no keyword study named {keyword_name!r}; "
                 f"have {sorted(self.keyword_results)}"
             ) from None
+
+    def to_rulebook(self, trace: str | None = None) -> "RuleBook":
+        """Export every kept rule as a persistable, servable RuleBook.
+
+        The hand-off from offline mining to online serving: the returned
+        book carries the rules of all keyword studies plus the run's
+        provenance (config, database fingerprint, engine backend) and
+        round-trips through :meth:`~repro.serve.RuleBook.save` /
+        :meth:`~repro.serve.RuleBook.load`.
+        """
+        # imported lazily: repro.serve sits one layer above repro.analysis
+        from ..serve import RuleBook
+
+        return RuleBook.from_analysis(self, trace=trace)
 
     def summary(self) -> str:
         lines = [

@@ -17,6 +17,15 @@ Subcommands::
     python -m repro casestudy --trace philly --n-jobs 5000
         run every Sec. IV study for one trace
 
+    python -m repro mine-rulebook --trace pai --output pai.rulebook.jsonl
+        run the analysis and persist the kept rules as a RuleBook
+
+    python -m repro serve --rulebook pai.rulebook.jsonl --port 7317
+        serve the RuleBook online (newline-delimited JSON over TCP)
+
+    python -m repro match --rulebook pai.rulebook.jsonl --trace pai --input jobs.csv
+        offline batch matching of a job table through the serving index
+
 All output is plain text (the paper-style tables); exit status is 0 on
 success, 2 on argument errors.
 """
@@ -60,16 +69,51 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--n-jobs", type=int, default=None,
                         help="generate this many jobs (default preset)")
     source.add_argument("--input", default=None, help="analyse an existing trace CSV")
-    ana.add_argument("--min-support", type=float, default=0.05)
-    ana.add_argument("--min-lift", type=float, default=1.5)
-    ana.add_argument("--max-len", type=int, default=5)
-    ana.add_argument("--c-lift", type=float, default=1.5)
-    ana.add_argument("--c-supp", type=float, default=1.5)
-    ana.add_argument("--algorithm", default="fpgrowth",
-                     choices=("fpgrowth", "apriori", "eclat"))
+    _add_mining_flags(ana)
     ana.add_argument("--max-cause", type=int, default=6)
     ana.add_argument("--max-characteristic", type=int, default=3)
     _add_engine_flags(ana)
+
+    book = sub.add_parser(
+        "mine-rulebook", help="run the analysis and persist a servable RuleBook"
+    )
+    book.add_argument("--trace", required=True, choices=list_traces())
+    book.add_argument("--keyword", action="append", default=None,
+                      help="keyword to study (repeatable; default: the "
+                           "trace's case-study keywords)")
+    book_source = book.add_mutually_exclusive_group()
+    book_source.add_argument("--n-jobs", type=int, default=None)
+    book_source.add_argument("--input", default=None,
+                             help="mine an existing trace CSV")
+    book.add_argument("--output", required=True,
+                      help="destination RuleBook path (JSON lines)")
+    _add_mining_flags(book)
+    _add_engine_flags(book)
+
+    srv = sub.add_parser(
+        "serve", help="serve a RuleBook online (NDJSON over TCP)"
+    )
+    srv.add_argument("--rulebook", required=True, help="RuleBook path to load")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7317)
+    srv.add_argument("--max-queue", type=int, default=1024,
+                     help="bounded request queue (backpressure beyond this)")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="micro-batch size per scheduler wakeup")
+
+    mat = sub.add_parser(
+        "match", help="batch-match a job table through the serving index"
+    )
+    mat.add_argument("--rulebook", required=True, help="RuleBook path to load")
+    mat.add_argument("--trace", required=True, choices=list_traces(),
+                     help="trace whose preprocessor encodes the jobs")
+    mat_source = mat.add_mutually_exclusive_group()
+    mat_source.add_argument("--n-jobs", type=int, default=None)
+    mat_source.add_argument("--input", default=None, help="job table CSV")
+    mat.add_argument("--explain", action="store_true",
+                     help="also count near-miss rules (one item short)")
+    mat.add_argument("--top", type=int, default=15,
+                     help="show at most this many rules in the summary")
 
     case = sub.add_parser("casestudy", help="run all Sec. IV studies for a trace")
     case.add_argument("--trace", required=True, choices=list_traces())
@@ -92,6 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
     ins_source.add_argument("--input", default=None)
 
     return parser
+
+
+def _add_mining_flags(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--min-support", type=float, default=0.05)
+    sub.add_argument("--min-lift", type=float, default=1.5)
+    sub.add_argument("--max-len", type=int, default=5)
+    sub.add_argument("--c-lift", type=float, default=1.5)
+    sub.add_argument("--c-supp", type=float, default=1.5)
+    sub.add_argument("--algorithm", default="fpgrowth",
+                     choices=("fpgrowth", "apriori", "eclat"))
 
 
 def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
@@ -181,6 +235,96 @@ def cmd_analyze(args: argparse.Namespace) -> str:
     return str(rule_table) + footer
 
 
+def cmd_mine_rulebook(args: argparse.Namespace) -> str:
+    definition = get_trace(args.trace)
+    table = _load_or_generate(args)
+    keywords = (
+        {kw: kw for kw in args.keyword}
+        if args.keyword
+        else dict(definition.keywords)
+    )
+    workflow = InterpretableAnalysis(
+        definition.make_preprocessor(), _config_from(args), _engine_from(args)
+    )
+    result = workflow.run(table, keywords)
+    book = result.to_rulebook(trace=definition.name)
+    book.save(args.output)
+    lines = [f"wrote RuleBook to {args.output}", f"  {book.provenance()}"]
+    if result.stats is not None:
+        lines.append("")
+        lines.append(result.stats.render())
+    return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from .serve import RuleBook, RuleService
+
+    book = RuleBook.load(args.rulebook)
+    service = RuleService.from_rulebook(
+        book, max_queue=args.max_queue, max_batch=args.max_batch
+    )
+    print(
+        f"serving {book.provenance()}\n"
+        f"listening on {args.host}:{args.port} "
+        f"(queue={args.max_queue}, batch={args.max_batch}) — "
+        f"SIGTERM/Ctrl-C drains and exits",
+        flush=True,
+    )
+    asyncio.run(service.serve_forever(args.host, args.port))
+    metrics = service.metrics
+    return (
+        f"drained and stopped after {metrics.uptime_s:.1f}s: "
+        f"{metrics.n_matched} matches, {metrics.n_rejected} rejected, "
+        f"p99 latency {metrics.latency.quantile(0.99) * 1e3:.2f}ms"
+    )
+
+
+def cmd_match(args: argparse.Namespace) -> str:
+    from .serve import RuleBook, RuleIndex
+
+    book = RuleBook.load(args.rulebook)
+    index = RuleIndex.from_rulebook(book)
+    definition = get_trace(args.trace)
+    table = _load_or_generate(args)
+    db = definition.make_preprocessor().run(table).database
+
+    fired_counts: dict[int, int] = {}
+    near_counts: dict[int, int] = {}
+    n_jobs = n_covered = n_firings = 0
+    for transaction in db.iter_item_transactions():
+        n_jobs += 1
+        matches = index.match(transaction)
+        if matches:
+            n_covered += 1
+            n_firings += len(matches)
+            for match in matches:
+                fired_counts[match.rule_id] = fired_counts.get(match.rule_id, 0) + 1
+        if args.explain:
+            for miss in index.explain(transaction):
+                near_counts[miss.rule_id] = near_counts.get(miss.rule_id, 0) + 1
+
+    lines = [
+        f"matched {n_jobs} jobs against {book.provenance()}",
+        f"  {n_covered} jobs fired >= 1 rule "
+        f"({n_covered / n_jobs:.1%} coverage), {n_firings} total firings"
+        if n_jobs
+        else "  (empty job table)",
+    ]
+    ranked = sorted(fired_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    for rule_id, count in ranked[: args.top]:
+        lines.append(f"  {count:>7}x  {index.rule_label(rule_id)}")
+    if len(ranked) > args.top:
+        lines.append(f"  ... and {len(ranked) - args.top} more rules")
+    if args.explain and near_counts:
+        lines.append("near misses (antecedent one item short):")
+        near_ranked = sorted(near_counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        for rule_id, count in near_ranked[: args.top]:
+            lines.append(f"  {count:>7}x  {index.rule_label(rule_id)}")
+    return "\n".join(lines)
+
+
 def cmd_casestudy(args: argparse.Namespace) -> str:
     study = full_case_study(args.trace, n_jobs=args.n_jobs, engine=_engine_from(args))
     rendered = study.render()
@@ -218,6 +362,9 @@ _COMMANDS = {
     "traces": cmd_traces,
     "generate": cmd_generate,
     "analyze": cmd_analyze,
+    "mine-rulebook": cmd_mine_rulebook,
+    "serve": cmd_serve,
+    "match": cmd_match,
     "casestudy": cmd_casestudy,
     "stats": cmd_stats,
     "insights": cmd_insights,

@@ -13,6 +13,7 @@ spec and a workload of :class:`JobRequest` objects, it
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..dataframe import ColumnTable
 from .failures import FailureModel, apply_time_limit, inject_node_failures
@@ -34,6 +35,21 @@ class SimulationResult:
     def to_table(self) -> ColumnTable:
         """Flatten all job records into a single merged trace table."""
         return ColumnTable.from_records([r.as_row() for r in self.records])
+
+    def replay(self) -> Iterator[JobRecord]:
+        """Job records in completion order — the event stream an online
+        consumer (e.g. the rule-serving load generator) would see.
+
+        Batch analysis reads the table unordered; a serving pipeline sees
+        jobs *as they finish*, so replay sorts by end time (ties broken by
+        start time and job id for determinism).
+        """
+        return iter(
+            sorted(
+                self.records,
+                key=lambda r: (r.end_time, r.start_time, r.request.job_id),
+            )
+        )
 
 
 class ClusterSimulator:

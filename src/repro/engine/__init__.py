@@ -27,7 +27,7 @@ from .backends import (
 )
 from .cache import CacheStats, ItemsetCache
 from .engine import MiningEngine, default_engine, set_default_engine
-from .stats import EngineStats, StageStats
+from .stats import EngineStats, LatencyHistogram, StageStats
 
 __all__ = [
     "MiningEngine",
@@ -47,4 +47,5 @@ __all__ = [
     "CacheStats",
     "EngineStats",
     "StageStats",
+    "LatencyHistogram",
 ]

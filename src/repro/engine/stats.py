@@ -9,10 +9,17 @@ CLI stats footer) can see where a run spent its time without profiling.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["StageStats", "EngineStats", "StageTimer", "CACHE_STATES"]
+__all__ = [
+    "StageStats",
+    "EngineStats",
+    "StageTimer",
+    "LatencyHistogram",
+    "CACHE_STATES",
+]
 
 #: valid values of :attr:`StageStats.cache`
 CACHE_STATES = ("hit", "miss", "off", "n/a")
@@ -94,6 +101,101 @@ class EngineStats:
                 f"in={stage.n_in:<8} out={stage.n_out:<8} cache={stage.cache}"
             )
         return "\n".join(lines)
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram: O(1) record, O(buckets) quantiles.
+
+    Latencies are binned into geometrically spaced buckets between
+    *min_seconds* and *max_seconds* (defaults cover 1 µs … 60 s at ~9 %
+    resolution), so memory stays constant no matter how many samples are
+    recorded — the property an online service needs to report p50/p99
+    over millions of requests.  Quantiles are answered by walking the
+    cumulative counts and interpolating within the winning bucket, which
+    bounds the error by the bucket width.
+
+    Shared between the mining engine's stage instrumentation and the
+    rule-serving subsystem (:mod:`repro.serve.service`).
+    """
+
+    __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(
+        self,
+        min_seconds: float = 1e-6,
+        max_seconds: float = 60.0,
+        growth: float = 1.09,
+    ):
+        if not 0 < min_seconds < max_seconds:
+            raise ValueError("need 0 < min_seconds < max_seconds")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        bounds = [min_seconds]
+        while bounds[-1] < max_seconds:
+            bounds.append(bounds[-1] * growth)
+        self._bounds = bounds  # upper edge of each bucket
+        self._counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative values clamp to zero)."""
+        seconds = max(seconds, 0.0)
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:  # first bucket whose upper edge holds the sample
+            mid = (lo + hi) // 2
+            if self._bounds[mid] >= seconds:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._counts[lo] += 1
+        self._count += 1
+        self._sum += seconds
+        self._min = min(self._min, seconds)
+        self._max = max(self._max, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Approximate the *q*-quantile (0 ≤ q ≤ 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * (self._count - 1)
+        seen = 0
+        for i, count in enumerate(self._counts):
+            if count == 0:
+                continue
+            if seen + count > rank:
+                upper = (
+                    self._bounds[i] if i < len(self._bounds) else self._max
+                )
+                lower = self._bounds[i - 1] if i > 0 else 0.0
+                # interpolate within the bucket, clamped to observed range
+                frac = (rank - seen + 1) / count
+                value = lower + (upper - lower) * min(frac, 1.0)
+                return min(max(value, self._min), self._max)
+            seen += count
+        return self._max  # pragma: no cover - defensive
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def as_dict(self) -> dict:
+        """Summary payload used by the serving ``metrics`` response."""
+        return {
+            "count": self._count,
+            "mean_s": self.mean,
+            "min_s": 0.0 if self._count == 0 else self._min,
+            "max_s": self._max,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+        }
 
 
 class StageTimer:

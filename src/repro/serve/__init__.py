@@ -1,0 +1,47 @@
+"""Online rule serving: persist mined rules, match live jobs against them.
+
+The offline pipeline (``repro.analysis``) ends at a pruned rule set; this
+package is what turns that artefact into an operator-facing capability:
+
+* :mod:`repro.serve.rulebook` — :class:`RuleBook`, the versioned
+  JSON-lines persistence format (rules + provenance), so mined rules
+  outlive the mining process;
+* :mod:`repro.serve.index` — :class:`RuleIndex`, an inverted
+  item → rules index answering ``match``/``explain`` in time proportional
+  to the job, not the book;
+* :mod:`repro.serve.service` — :class:`RuleService`, an asyncio TCP
+  service (newline-delimited JSON) with micro-batching, bounded-queue
+  backpressure and graceful drain;
+* :mod:`repro.serve.client` — :class:`RuleServiceClient` plus the
+  trace-replay load generator used by ``benchmarks/bench_serve_throughput``.
+
+CLI entry points: ``repro mine-rulebook``, ``repro serve``, ``repro
+match`` (see DESIGN.md §7).
+"""
+
+from .client import (
+    ReplayStats,
+    RuleServiceClient,
+    ServiceError,
+    replay_traffic,
+    trace_transactions,
+)
+from .index import Match, NearMiss, RuleIndex
+from .rulebook import SCHEMA_VERSION, RuleBook, RuleBookSchemaError
+from .service import RuleService, ServiceMetrics
+
+__all__ = [
+    "RuleBook",
+    "RuleBookSchemaError",
+    "SCHEMA_VERSION",
+    "RuleIndex",
+    "Match",
+    "NearMiss",
+    "RuleService",
+    "ServiceMetrics",
+    "RuleServiceClient",
+    "ServiceError",
+    "ReplayStats",
+    "replay_traffic",
+    "trace_transactions",
+]

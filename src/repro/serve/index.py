@@ -1,0 +1,301 @@
+"""Inverted rule index: match a job against N rules in sub-linear time.
+
+The serving hot path answers "which rules fire on this job?".  The naive
+answer checks every rule's antecedent against the transaction — O(N·|A|)
+per job, untenable for a book of thousands of rules under thousands of
+requests per second.  :class:`RuleIndex` inverts the problem the way
+*Fast Dimensional Analysis* deploys mined itemsets: a postings map
+``item → rules whose antecedent contains it`` plus per-rule antecedent
+sizes.  Matching walks only the postings of the items the job actually
+has, counting hits per candidate rule; a rule fires exactly when its
+counter reaches its antecedent size.  Cost: O(items in job + postings
+touched), independent of rules whose antecedents share nothing with the
+job.
+
+Two serving-oriented optimisations keep the per-request constant small:
+
+* postings are keyed by canonical item *strings*, so the wire form of a
+  transaction (a list of strings) is matched without constructing
+  :class:`Item` objects per request — unknown or alternate spellings go
+  through a memoised canonicalisation cache exactly once;
+* every rule's wire representation (the ``fired`` entry of a match
+  response) is precomputed at build time, both as a dict and as an
+  encoded JSON fragment, so the service serialises a response by string
+  joining instead of re-rendering rules per request.
+
+The same hit counters give *near-misses* for free: a rule whose counter
+stops one short of its antecedent size is an operator hint ("had this
+job also been multi-GPU, the failure rule would fire") — exposed as
+:meth:`RuleIndex.explain`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..core.items import Item
+from ..core.rules import AssociationRule
+from .rulebook import RuleBook
+
+__all__ = ["Match", "NearMiss", "RuleIndex"]
+
+#: stop memoising unseen transaction-item spellings beyond this many
+#: cache entries — real vocabularies are a few hundred items, so growth
+#: past this means adversarial or malformed traffic
+_CANON_CACHE_MAX = 100_000
+
+
+@dataclass(frozen=True, slots=True)
+class Match:
+    """One fired rule: the job's items cover the whole antecedent."""
+
+    rule: AssociationRule
+    rule_id: int  # position in the index's rule order (lift-ranked)
+    consequent_observed: bool  # did the job already exhibit the consequent?
+    _wire: dict = field(repr=False, compare=False)
+
+    def as_dict(self) -> dict:
+        """Wire form used by the service protocol."""
+        return {**self._wire, "consequent_observed": self.consequent_observed}
+
+
+@dataclass(frozen=True, slots=True)
+class NearMiss:
+    """A rule one antecedent item short of firing, with the missing item."""
+
+    rule: AssociationRule
+    rule_id: int
+    missing: Item
+
+    def as_dict(self) -> dict:
+        return {
+            "rule_id": self.rule_id,
+            "antecedent": sorted(i.render() for i in self.rule.antecedent),
+            "consequent": sorted(i.render() for i in self.rule.consequent),
+            "lift": self.rule.lift,
+            "missing": self.missing.render(),
+        }
+
+
+class RuleIndex:
+    """Immutable inverted index over a rule set's antecedents.
+
+    Rules are stored lift-ranked (the RuleBook order), so walking fired
+    candidates in rule-id order yields matches already ranked by
+    (lift, confidence, support) descending — no per-query sort.
+    """
+
+    __slots__ = (
+        "rules",
+        "_postings",
+        "_ant_sizes",
+        "_ant_keys",
+        "_cons_keys",
+        "_canon",
+        "_item_of",
+        "_wire",
+        "_wire_json",
+    )
+
+    def __init__(self, rules: Iterable[AssociationRule]):
+        self.rules: tuple[AssociationRule, ...] = tuple(
+            sorted(rules, key=_rank_key)
+        )
+        postings: dict[str, list[int]] = {}
+        #: any accepted spelling → canonical key (None = known, not indexed)
+        canon: dict[str, str | None] = {}
+        item_of: dict[str, Item] = {}
+        self._ant_sizes: list[int] = []
+        self._ant_keys: list[frozenset[str]] = []
+        self._cons_keys: list[frozenset[str]] = []
+        self._wire: list[dict] = []
+        self._wire_json: list[tuple[str, str]] = []
+
+        def register(item: Item) -> str:
+            key = str(item)
+            canon[key] = key
+            canon[item.render()] = key
+            item_of[key] = item
+            return key
+
+        for rule_id, rule in enumerate(self.rules):
+            ant_keys = frozenset(register(i) for i in rule.antecedent)
+            cons_keys = frozenset(register(i) for i in rule.consequent)
+            self._ant_sizes.append(len(ant_keys))
+            self._ant_keys.append(ant_keys)
+            self._cons_keys.append(cons_keys)
+            for key in ant_keys:
+                postings.setdefault(key, []).append(rule_id)
+            wire = {
+                "rule_id": rule_id,
+                "antecedent": sorted(i.render() for i in rule.antecedent),
+                "consequent": sorted(i.render() for i in rule.consequent),
+                "support": rule.support,
+                "confidence": rule.confidence,
+                "lift": rule.lift,
+            }
+            self._wire.append(wire)
+            self._wire_json.append(
+                (
+                    json.dumps({**wire, "consequent_observed": False}),
+                    json.dumps({**wire, "consequent_observed": True}),
+                )
+            )
+        self._postings = postings
+        self._canon = canon
+        self._item_of = item_of
+
+    @classmethod
+    def from_rulebook(cls, book: RuleBook) -> "RuleIndex":
+        return cls(book.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleIndex(n_rules={len(self.rules)}, "
+            f"n_indexed_items={len(self._postings)})"
+        )
+
+    @property
+    def n_postings(self) -> int:
+        """Total (item, rule) pairs — the index's memory-side cost."""
+        return sum(len(p) for p in self._postings.values())
+
+    # -- matching ----------------------------------------------------------------
+    def _normalize(self, transaction: Iterable[Item | str]) -> set[str]:
+        """Transaction → set of canonical item keys (unknown items drop).
+
+        First sight of an unseen spelling parses it once and memoises
+        the outcome, so steady-state traffic never constructs
+        :class:`Item` objects.
+        """
+        canon = self._canon
+        keys: set[str] = set()
+        for element in transaction:
+            text = element if isinstance(element, str) else str(element)
+            mapped = canon.get(text)
+            if mapped is not None:
+                keys.add(mapped)
+                continue
+            if text in canon:  # known, but not an indexed item
+                continue
+            mapped = canon.get(str(Item.parse(text)))
+            if len(canon) < _CANON_CACHE_MAX:
+                canon[text] = mapped
+            if mapped is not None:
+                keys.add(mapped)
+        return keys
+
+    def _count_hits(self, keys: set[str]) -> dict[int, int]:
+        """Antecedent hit counter per candidate rule (the countdown core)."""
+        counts: dict[int, int] = {}
+        postings = self._postings
+        get = counts.get
+        for key in keys:
+            for rule_id in postings.get(key, ()):
+                counts[rule_id] = get(rule_id, 0) + 1
+        return counts
+
+    def match(self, transaction: Iterable[Item | str]) -> list[Match]:
+        """Rules whose antecedent is fully contained in *transaction*.
+
+        Returned ranked by (lift, confidence, support) descending.  Items
+        unknown to the index are ignored — an online job may carry
+        features the mined vocabulary never saw.
+        """
+        keys = self._normalize(transaction)
+        return [
+            Match(
+                rule=self.rules[rule_id],
+                rule_id=rule_id,
+                consequent_observed=self._cons_keys[rule_id] <= keys,
+                _wire=self._wire[rule_id],
+            )
+            for rule_id in self._fired_ids(keys)
+        ]
+
+    def match_wire(
+        self, transaction: Iterable[Item | str]
+    ) -> list[tuple[int, str]]:
+        """Like :meth:`match`, but returning precomputed JSON fragments.
+
+        The service hot path: fired rules come back as ``(rule_id,
+        encoded fragment)`` pairs ready to be joined into a
+        ``match_result`` payload, with zero per-request serialisation of
+        rule content.
+        """
+        keys = self._normalize(transaction)
+        wire_json = self._wire_json
+        cons_keys = self._cons_keys
+        return [
+            (rule_id, wire_json[rule_id][cons_keys[rule_id] <= keys])
+            for rule_id in self._fired_ids(keys)
+        ]
+
+    def _fired_ids(self, keys: set[str]) -> list[int]:
+        """Rule ids whose whole antecedent is covered, in ranked order.
+
+        Sorting happens *after* the fired filter — candidate sets are an
+        order of magnitude larger than fired sets on realistic traffic.
+        """
+        sizes = self._ant_sizes
+        return sorted(
+            rule_id
+            for rule_id, hits in self._count_hits(keys).items()
+            if hits == sizes[rule_id]
+        )
+
+    def explain(self, transaction: Iterable[Item | str]) -> list[NearMiss]:
+        """Rules exactly one antecedent item short of firing on the job.
+
+        The operator-hint counterpart of :meth:`match`: each entry names
+        the single missing item.  Single-item antecedents never appear
+        (they either fire or share nothing with the job, so there is no
+        partial evidence to hint from).
+        """
+        keys = self._normalize(transaction)
+        sizes = self._ant_sizes
+        near_ids = sorted(
+            rule_id
+            for rule_id, hits in self._count_hits(keys).items()
+            if hits == sizes[rule_id] - 1
+        )
+        near: list[NearMiss] = []
+        for rule_id in near_ids:
+            (missing_key,) = self._ant_keys[rule_id] - keys
+            near.append(
+                NearMiss(
+                    rule=self.rules[rule_id],
+                    rule_id=rule_id,
+                    missing=self._item_of[missing_key],
+                )
+            )
+        return near
+
+    def iter_rule_labels(self) -> Iterator[str]:
+        """Stable per-rule labels (``{ant} => {cons}``) for metrics keys."""
+        for rule in self.rules:
+            yield _rule_label(rule)
+
+    def rule_label(self, rule_id: int) -> str:
+        return _rule_label(self.rules[rule_id])
+
+
+def _rank_key(rule: AssociationRule) -> tuple:
+    return (
+        -rule.lift,
+        -rule.confidence,
+        -rule.support,
+        str(sorted(rule.antecedent)),
+        str(sorted(rule.consequent)),
+    )
+
+
+def _rule_label(rule: AssociationRule) -> str:
+    ant = ", ".join(i.render() for i in sorted(rule.antecedent))
+    cons = ", ".join(i.render() for i in sorted(rule.consequent))
+    return f"{{{ant}}} => {{{cons}}}"

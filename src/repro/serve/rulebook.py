@@ -1,0 +1,310 @@
+"""Versioned persistence for mined rules: the RuleBook.
+
+Offline mining produces rules; online serving needs them to outlive the
+mining process.  A :class:`RuleBook` is the hand-off artefact: the pruned
+rule set plus the provenance an operator needs to trust it — which trace
+and keywords it was mined from, the full :class:`MiningConfig`, the
+content fingerprint of the transaction database, and the engine backend
+that produced it.
+
+The on-disk format is JSON-lines with a mandatory header record::
+
+    {"record": "header", "schema_version": 1, "items": [...], ...}
+    {"record": "rule", "antecedent_ids": [...], "support": ..., ...}
+    ...
+
+One line per record keeps the format streamable and diffable; the header
+carries the item vocabulary (id → [feature, value]) so rule lines stay
+compact and id-exact.  Loading refuses any file whose ``schema_version``
+differs from :data:`SCHEMA_VERSION` — a serving process must never guess
+at rule semantics.  Non-finite floats (an exact implication has
+conviction ∞) are encoded as the strings ``"inf"`` / ``"-inf"`` /
+``"nan"`` so every line is strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.items import Item, ItemVocabulary
+from ..core.mining import MiningConfig
+from ..core.rules import AssociationRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.workflow import AnalysisResult
+
+__all__ = ["SCHEMA_VERSION", "RuleBookSchemaError", "RuleBook"]
+
+#: current on-disk schema; bump on any incompatible format change
+SCHEMA_VERSION = 1
+
+#: float fields of a rule record, in serialisation order
+_METRIC_FIELDS = ("support", "confidence", "lift", "leverage", "conviction")
+
+
+class RuleBookSchemaError(ValueError):
+    """The file is not a RuleBook this code understands."""
+
+
+def _enc_float(value: float) -> float | str:
+    """Encode a float as strict JSON (non-finite values become strings)."""
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def _dec_float(value: float | int | str) -> float:
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise RuleBookSchemaError(f"bad float literal {value!r}") from None
+    return float(value)
+
+
+@dataclass(slots=True)
+class RuleBook:
+    """A persisted, provenance-stamped set of association rules.
+
+    ``rules`` are ordered by (lift, confidence, support) descending — the
+    ranking the paper's tables use and the order the serving index
+    preserves.  All provenance fields are optional so a RuleBook can also
+    wrap ad-hoc rule lists (tests, benchmarks).
+
+    On construction every rule is re-keyed into the book's own dense
+    id-space (items sorted, id = rank): a rule's identity must not depend
+    on the insertion order of the mining vocabulary it came from, or two
+    books over identical rules would differ on disk.  Canonicalisation is
+    idempotent, which is exactly what makes save → load bit-exact.
+    """
+
+    rules: tuple[AssociationRule, ...]
+    trace: str | None = None
+    keywords: dict[str, str] = field(default_factory=dict)
+    config: MiningConfig | None = None
+    fingerprint: str | None = None
+    backend: str | None = None
+    n_transactions: int | None = None
+    schema_version: int = SCHEMA_VERSION
+    _items: tuple[Item, ...] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        items = sorted({item for rule in self.rules for item in rule.items})
+        ids = {item: i for i, item in enumerate(items)}
+        self._items = tuple(items)
+        self.rules = tuple(
+            sorted((_rekey_rule(rule, ids) for rule in self.rules), key=_rule_order)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self.rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"RuleBook(n_rules={len(self)}, trace={self.trace!r}, "
+            f"keywords={sorted(self.keywords)})"
+        )
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_analysis(
+        cls, result: "AnalysisResult", trace: str | None = None
+    ) -> "RuleBook":
+        """Collect every kept rule of an analysis run into a RuleBook.
+
+        Cause and characteristic rules of all keyword studies are pooled;
+        a rule surviving several studies appears once.  Provenance (config,
+        database fingerprint, backend) is lifted off the result.
+        """
+        seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+        rules: list[AssociationRule] = []
+        for ruleset in result.keyword_results.values():
+            for rule in ruleset.all_rules:
+                key = (rule.antecedent_ids, rule.consequent_ids)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rules.append(rule)
+        return cls(
+            rules=tuple(rules),
+            trace=trace,
+            keywords={
+                name: ruleset.keyword.render()
+                for name, ruleset in result.keyword_results.items()
+            },
+            config=result.config,
+            fingerprint=result.preprocess.database.fingerprint(),
+            backend=result.stats.backend if result.stats is not None else None,
+            n_transactions=len(result.preprocess.database),
+        )
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Write header + one rule record per line (strict JSON lines).
+
+        The header's ``items`` list is the book's canonical id-space
+        (position = id), so rule lines stay compact and a loaded rule
+        compares equal to the saved one field for field, ids included.
+        """
+        header = {
+            "record": "header",
+            "schema_version": self.schema_version,
+            "n_rules": len(self.rules),
+            "items": [[item.feature, item.value] for item in self._items],
+            "trace": self.trace,
+            "keywords": self.keywords,
+            "config": None if self.config is None else asdict(self.config),
+            "fingerprint": self.fingerprint,
+            "backend": self.backend,
+            "n_transactions": self.n_transactions,
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for rule in self.rules:
+                record: dict = {
+                    "record": "rule",
+                    "antecedent_ids": sorted(rule.antecedent_ids),
+                    "consequent_ids": sorted(rule.consequent_ids),
+                }
+                for name in _METRIC_FIELDS:
+                    record[name] = _enc_float(getattr(rule, name))
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RuleBook":
+        """Load a RuleBook, validating schema version and record shape."""
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh if line.strip()]
+        if not lines:
+            raise RuleBookSchemaError(f"{path}: empty file, expected a header record")
+        header = _parse_json(lines[0], path, 1)
+        if header.get("record") != "header":
+            raise RuleBookSchemaError(
+                f"{path}: first record must be the header, got "
+                f"{header.get('record')!r}"
+            )
+        version = header.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise RuleBookSchemaError(
+                f"{path}: schema_version {version!r} is not supported "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            items = [Item(feature, value) for feature, value in header["items"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RuleBookSchemaError(f"{path}: bad item table: {exc}") from None
+        config = header.get("config")
+        rules = []
+        for lineno, line in enumerate(lines[1:], start=2):
+            record = _parse_json(line, path, lineno)
+            if record.get("record") != "rule":
+                raise RuleBookSchemaError(
+                    f"{path}:{lineno}: expected a rule record, got "
+                    f"{record.get('record')!r}"
+                )
+            rules.append(_decode_rule(record, items, path, lineno))
+        if len(rules) != header.get("n_rules", len(rules)):
+            raise RuleBookSchemaError(
+                f"{path}: header promises {header['n_rules']} rules, "
+                f"found {len(rules)} — truncated file?"
+            )
+        return cls(
+            rules=tuple(rules),
+            trace=header.get("trace"),
+            keywords=dict(header.get("keywords") or {}),
+            config=None if config is None else MiningConfig(**config),
+            fingerprint=header.get("fingerprint"),
+            backend=header.get("backend"),
+            n_transactions=header.get("n_transactions"),
+        )
+
+    # -- derived views ---------------------------------------------------------
+    def vocabulary(self) -> ItemVocabulary:
+        """The canonical id-space as a vocabulary (id = insertion order)."""
+        return ItemVocabulary(self._items)
+
+    def provenance(self) -> str:
+        """One-line provenance summary for CLI output and logs."""
+        parts = [f"{len(self)} rules"]
+        if self.trace:
+            parts.append(f"trace={self.trace}")
+        if self.keywords:
+            parts.append("keywords=" + ",".join(sorted(self.keywords.values())))
+        if self.n_transactions is not None:
+            parts.append(f"mined_from={self.n_transactions} jobs")
+        if self.fingerprint:
+            parts.append(f"db={self.fingerprint[:12]}")
+        if self.backend:
+            parts.append(f"backend={self.backend}")
+        return ", ".join(parts)
+
+def _rekey_rule(rule: AssociationRule, ids: dict[Item, int]) -> AssociationRule:
+    """Re-express a rule's id sets in the book's canonical id-space."""
+    antecedent_ids = frozenset(ids[item] for item in rule.antecedent)
+    consequent_ids = frozenset(ids[item] for item in rule.consequent)
+    if (
+        antecedent_ids == rule.antecedent_ids
+        and consequent_ids == rule.consequent_ids
+    ):
+        return rule
+    return AssociationRule(
+        antecedent=rule.antecedent,
+        consequent=rule.consequent,
+        antecedent_ids=antecedent_ids,
+        consequent_ids=consequent_ids,
+        support=rule.support,
+        confidence=rule.confidence,
+        lift=rule.lift,
+        leverage=rule.leverage,
+        conviction=rule.conviction,
+    )
+
+
+def _rule_order(rule: AssociationRule) -> tuple:
+    return (
+        -rule.lift,
+        -rule.confidence,
+        -rule.support,
+        str(sorted(rule.antecedent)),
+        str(sorted(rule.consequent)),
+    )
+
+
+def _parse_json(line: str, path, lineno: int) -> dict:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RuleBookSchemaError(f"{path}:{lineno}: not JSON: {exc}") from None
+    if not isinstance(record, dict):
+        raise RuleBookSchemaError(f"{path}:{lineno}: record must be an object")
+    return record
+
+
+def _decode_rule(
+    record: dict, items: list[Item], path, lineno: int
+) -> AssociationRule:
+    try:
+        antecedent_ids = frozenset(int(i) for i in record["antecedent_ids"])
+        consequent_ids = frozenset(int(i) for i in record["consequent_ids"])
+        for i in antecedent_ids | consequent_ids:
+            if not 0 <= i < len(items):
+                raise ValueError(f"item id {i} outside the header item table")
+        metrics = {name: _dec_float(record[name]) for name in _METRIC_FIELDS}
+        return AssociationRule(
+            antecedent=frozenset(items[i] for i in antecedent_ids),
+            consequent=frozenset(items[i] for i in consequent_ids),
+            antecedent_ids=antecedent_ids,
+            consequent_ids=consequent_ids,
+            **metrics,
+        )
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise RuleBookSchemaError(f"{path}:{lineno}: bad rule record: {exc}") from None

@@ -1,0 +1,414 @@
+"""Asyncio rule-matching service: newline-delimited JSON over TCP.
+
+Protocol (one JSON object per line, both directions)::
+
+    → {"type": "match",   "transaction": ["SM Util = 0%", ...], "id": 7,
+       "explain": false}
+    ← {"type": "match_result", "id": 7, "fired": [...], "near_misses": [...]}
+
+    → {"type": "healthz"}
+    ← {"type": "healthz", "status": "ok"|"draining", "uptime_s": ...,
+       "n_rules": ...}
+
+    → {"type": "metrics"}
+    ← {"type": "metrics", "uptime_s": ..., "queue_depth": ...,
+       "latency": {"p50_s": ..., "p99_s": ..., ...},
+       "requests": {...}, "rule_matches": {...}}
+
+Design points, mirroring what a production sidecar needs:
+
+* **Pipelining** — a connection may send many requests before reading
+  any response; responses come back in request order.  Each connection
+  runs a reader task (parse + enqueue) and a writer task (answer in
+  order), so a single client can keep the batcher saturated.
+* **Micro-batching** — match requests land on a bounded queue; a single
+  batcher task drains up to ``max_batch`` at once and answers them in
+  one pass.  Under load this amortises task wakeups; under light load
+  the first request is served immediately (no artificial batching
+  delay).
+* **Explicit backpressure** — when the queue is full the request is
+  rejected *immediately* with ``{"type": "error", "error": "overloaded",
+  "retry_after": ...}`` rather than buffered without bound.  Callers see
+  load shedding as data, not as timeouts.
+* **Graceful drain** — SIGTERM/SIGINT (or :meth:`RuleService.shutdown`)
+  stops accepting connections, answers everything already queued, then
+  closes.  In-flight work is never dropped.
+* **Observability** — latency quantiles come from the engine's shared
+  :class:`~repro.engine.stats.LatencyHistogram`; per-rule fire counts
+  tell the operator which mined rules actually earn their keep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Iterable
+
+from ..core.items import Item
+from ..engine.stats import LatencyHistogram
+from .index import RuleIndex
+from .rulebook import RuleBook
+
+__all__ = ["ServiceMetrics", "RuleService"]
+
+#: protocol schema version announced by healthz
+PROTOCOL_VERSION = 1
+
+#: default bound of the request queue (requests, not bytes)
+DEFAULT_MAX_QUEUE = 1024
+
+#: default micro-batch size drained per batcher wakeup
+DEFAULT_MAX_BATCH = 64
+
+#: default client back-off hint attached to overload rejections, seconds
+DEFAULT_RETRY_AFTER_S = 0.05
+
+#: stream line limit, both directions — a match response over a large
+#: book (fired rules + near misses) easily exceeds asyncio's 64 KiB
+#: default readline limit
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ServiceMetrics:
+    """Mutable counters of one service lifetime."""
+
+    __slots__ = (
+        "started_at",
+        "latency",
+        "n_matched",
+        "n_rejected",
+        "n_bad_requests",
+        "n_batches",
+        "rule_matches",
+    )
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.latency = LatencyHistogram()
+        self.n_matched = 0
+        self.n_rejected = 0
+        self.n_bad_requests = 0
+        self.n_batches = 0
+        self.rule_matches: dict[int, int] = {}
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def as_dict(self, index: RuleIndex) -> dict:
+        return {
+            "uptime_s": self.uptime_s,
+            "latency": self.latency.as_dict(),
+            "requests": {
+                "matched": self.n_matched,
+                "rejected": self.n_rejected,
+                "bad": self.n_bad_requests,
+                "batches": self.n_batches,
+            },
+            "rule_matches": {
+                index.rule_label(rule_id): count
+                for rule_id, count in sorted(self.rule_matches.items())
+            },
+        }
+
+
+class RuleService:
+    """A long-lived rule matcher behind ``asyncio.start_server``.
+
+    Typical embedding (the CLI's ``repro serve`` does exactly this)::
+
+        service = RuleService(RuleIndex.from_rulebook(book))
+        asyncio.run(service.serve_forever("127.0.0.1", 7317))
+
+    Tests drive :meth:`start` / :meth:`shutdown` directly for
+    deterministic control over the lifecycle.
+    """
+
+    def __init__(
+        self,
+        index: RuleIndex,
+        *,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.index = index
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.retry_after_s = retry_after_s
+        self.metrics = ServiceMetrics()
+        self._queue: asyncio.Queue[tuple[dict, float, asyncio.Future]] = (
+            asyncio.Queue(maxsize=max_queue)
+        )
+        self._server: asyncio.Server | None = None
+        self._batcher: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self.metrics = ServiceMetrics()
+        self._draining = False
+        self._batcher = asyncio.create_task(self._batch_loop())
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=MAX_LINE_BYTES
+        )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful after ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 7317) -> None:
+        """Run until SIGTERM/SIGINT, then drain and exit."""
+        server = await self.start(host, port)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-POSIX event loops
+        async with server:
+            await stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, answer queued work, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # everything already queued gets answered before the batcher dies
+        await self._queue.join()
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        # connection handlers: queued answers are written as clients drain
+        # their sockets and hang up; anyone still holding the connection
+        # open after a grace period gets cut off
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(set(self._conn_tasks), timeout=1.0)
+            for task in pending:  # pragma: no cover - lingering clients
+                task.cancel()
+            if pending:  # pragma: no cover
+                await asyncio.wait(pending)
+            self._conn_tasks.clear()
+
+    # -- connection handling ----------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # reader half: parse lines and enqueue a response slot per request,
+        # so the connection is pipelined — the writer half answers slots in
+        # request order, awaiting match futures as the batcher resolves them
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        out: asyncio.Queue[bytes | asyncio.Future | None] = asyncio.Queue()
+        writer_task = asyncio.create_task(self._write_responses(out, writer))
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                out.put_nowait(self._dispatch(line))
+        except (ConnectionResetError, BrokenPipeError, ValueError):
+            pass  # reset mid-read, or a line beyond MAX_LINE_BYTES
+        finally:
+            out.put_nowait(None)
+            try:
+                await writer_task
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            except asyncio.CancelledError:  # pragma: no cover - forced close
+                writer_task.cancel()
+                writer.close()
+                raise
+            finally:
+                if task is not None:
+                    self._conn_tasks.discard(task)
+
+    async def _write_responses(
+        self,
+        out: asyncio.Queue,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Write response lines in request order, coalescing drains."""
+        try:
+            while True:
+                entry = await out.get()
+                if entry is None:
+                    break
+                if isinstance(entry, asyncio.Future):
+                    entry = await entry
+                writer.write(entry)
+                if out.empty():  # flow control once per burst, not per line
+                    await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; the reader half will see EOF
+
+    def _dispatch(self, line: bytes) -> bytes | asyncio.Future:
+        """One request line → encoded response line, or a pending future."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, ValueError, UnicodeDecodeError) as exc:
+            self.metrics.n_bad_requests += 1
+            return _error_line(None, "bad_request", str(exc))
+        request_id = request.get("id")
+        kind = request.get("type")
+        if kind == "match":
+            return self._enqueue_match(request, request_id)
+        if kind == "healthz":
+            return _encode(self._healthz(request_id))
+        if kind == "metrics":
+            return _encode(
+                {
+                    "type": "metrics",
+                    "id": request_id,
+                    "queue_depth": self._queue.qsize(),
+                    **self.metrics.as_dict(self.index),
+                }
+            )
+        self.metrics.n_bad_requests += 1
+        return _error_line(
+            request_id, "bad_request", f"unknown request type {kind!r}"
+        )
+
+    def _healthz(self, request_id) -> dict:
+        return {
+            "type": "healthz",
+            "id": request_id,
+            "status": "draining" if self._draining else "ok",
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_s": self.metrics.uptime_s,
+            "n_rules": len(self.index),
+        }
+
+    def _enqueue_match(self, request: dict, request_id) -> bytes | asyncio.Future:
+        if self._draining:
+            return _error_line(
+                request_id,
+                "shutting_down",
+                "service is draining; connect elsewhere",
+            )
+        transaction = request.get("transaction")
+        if not isinstance(transaction, list) or not all(
+            isinstance(i, str) for i in transaction
+        ):
+            self.metrics.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "transaction must be a list of strings"
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((request, time.perf_counter(), future))
+        except asyncio.QueueFull:
+            self.metrics.n_rejected += 1
+            response = _error(
+                request_id,
+                "overloaded",
+                f"request queue full ({self.max_queue})",
+            )
+            response["retry_after"] = self.retry_after_s
+            return _encode(response)
+        return future
+
+    # -- the batcher --------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            await self._process_batch(batch)
+            for _ in batch:
+                self._queue.task_done()
+
+    async def _process_batch(
+        self, batch: list[tuple[dict, float, asyncio.Future]]
+    ) -> None:
+        """Answer one micro-batch (overridable seam for tests)."""
+        self.metrics.n_batches += 1
+        record = self.metrics.latency.record
+        now = time.perf_counter
+        for request, enqueued_at, future in batch:
+            if future.cancelled():  # pragma: no cover - client vanished
+                continue
+            line = self._match_line(request)
+            record(now() - enqueued_at)
+            future.set_result(line)
+
+    def _match_line(self, request: dict) -> bytes:
+        """One match request → encoded ``match_result`` line.
+
+        The common path (no ``explain``) assembles the response from the
+        index's precomputed per-rule JSON fragments — the only JSON
+        encoded per request is the echoed request id.
+        """
+        transaction: Iterable[Item | str] = request["transaction"]
+        self.metrics.n_matched += 1
+        rule_matches = self.metrics.rule_matches
+        if request.get("explain"):
+            fired = self.index.match(transaction)
+            for match in fired:
+                rule_matches[match.rule_id] = (
+                    rule_matches.get(match.rule_id, 0) + 1
+                )
+            return _encode(
+                {
+                    "type": "match_result",
+                    "id": request.get("id"),
+                    "fired": [m.as_dict() for m in fired],
+                    "near_misses": [
+                        n.as_dict() for n in self.index.explain(transaction)
+                    ],
+                }
+            )
+        wire = self.index.match_wire(transaction)
+        for rule_id, _ in wire:
+            rule_matches[rule_id] = rule_matches.get(rule_id, 0) + 1
+        return (
+            '{"type": "match_result", "id": %s, "fired": [%s]}\n'
+            % (json.dumps(request.get("id")), ", ".join(f for _, f in wire))
+        ).encode()
+
+    @classmethod
+    def from_rulebook(cls, book: RuleBook, **kwargs) -> "RuleService":
+        return cls(RuleIndex.from_rulebook(book), **kwargs)
+
+
+def _error(request_id, code: str, detail: str) -> dict:
+    return {"type": "error", "id": request_id, "error": code, "detail": detail}
+
+
+def _error_line(request_id, code: str, detail: str) -> bytes:
+    return _encode(_error(request_id, code, detail))
+
+
+def _encode(response: dict) -> bytes:
+    return json.dumps(response).encode() + b"\n"

@@ -85,9 +85,18 @@ class SlidingWindowMiner:
 
     # -- queries -------------------------------------------------------------------
     def item_support(self, item: Item | str) -> float:
-        """Relative support of one item over the current window, O(1)."""
+        """Relative support of one item over the current window, O(1).
+
+        Raises :class:`ValueError` on an empty window: support over zero
+        transactions is undefined, and silently answering 0.0 would let a
+        monitoring dashboard read "no failures" off a window that simply
+        has no data yet.
+        """
         if not self._window:
-            return 0.0
+            raise ValueError(
+                "item_support() is undefined on an empty window; "
+                "observe() at least one transaction first"
+            )
         item_id = self.vocabulary.get_id(as_item(item))
         if item_id is None:
             return 0.0

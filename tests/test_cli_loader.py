@@ -181,3 +181,68 @@ class TestCliExtensions:
         )
         assert code == 0
         assert "no insights" in capsys.readouterr().out
+
+
+class TestServeCli:
+    """The mine-rulebook → match offline path of the serving subsystem."""
+
+    def test_mine_rulebook_then_match(self, tmp_path, capsys):
+        book_path = tmp_path / "supercloud.rulebook.jsonl"
+        code = main(
+            ["mine-rulebook", "--trace", "supercloud", "--n-jobs", "2500",
+             "--keyword", "Failed", "--output", str(book_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote RuleBook" in out
+        assert "engine stats" in out
+        assert book_path.exists()
+
+        from repro.serve import RuleBook
+
+        book = RuleBook.load(book_path)
+        assert len(book) > 0
+        assert book.trace == "supercloud"
+        assert book.keywords == {"Failed": "Failed"}
+
+        code = main(
+            ["match", "--rulebook", str(book_path), "--trace", "supercloud",
+             "--n-jobs", "2000", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matched 2000 jobs" in out
+        assert "coverage" in out
+
+    def test_mine_rulebook_default_keywords(self, tmp_path, capsys):
+        book_path = tmp_path / "pai.rulebook.jsonl"
+        code = main(
+            ["mine-rulebook", "--trace", "pai", "--n-jobs", "2500",
+             "--output", str(book_path)]
+        )
+        assert code == 0
+        from repro.serve import RuleBook
+
+        # with no --keyword, every case-study keyword of the trace is mined
+        from repro.traces import get_trace
+
+        book = RuleBook.load(book_path)
+        assert book.keywords == get_trace("pai").keywords
+
+    def test_match_missing_rulebook_exits_2(self, capsys):
+        code = main(
+            ["match", "--rulebook", "/nonexistent/book.jsonl",
+             "--trace", "pai", "--n-jobs", "100"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_match_rejects_bad_schema(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"record": "header", "schema_version": 99, "items": []}\n')
+        code = main(
+            ["match", "--rulebook", str(bad), "--trace", "pai",
+             "--n-jobs", "100"]
+        )
+        assert code == 2
+        assert "schema_version" in capsys.readouterr().err

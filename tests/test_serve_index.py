@@ -1,0 +1,122 @@
+"""Tests for the inverted rule index: equivalence with brute force, hints."""
+
+import random
+
+from repro.core.items import Item, as_item
+from repro.serve import RuleBook, RuleIndex
+
+from .test_serve_rulebook import random_rules
+
+
+def brute_force_match(rules, transaction):
+    """Reference semantics: subset-check every rule's antecedent."""
+    items = {as_item(i) for i in transaction}
+    return [rule for rule in rules if rule.antecedent <= items]
+
+
+def brute_force_near(rules, transaction):
+    # one antecedent item missing, the rest present; single-item
+    # antecedents are excluded by definition (they either fire or share
+    # nothing with the job, so there is no partial evidence to hint from)
+    items = {as_item(i) for i in transaction}
+    return [
+        rule
+        for rule in rules
+        if len(rule.antecedent) > 1 and len(rule.antecedent - items) == 1
+    ]
+
+
+class TestEquivalence:
+    def test_matches_agree_with_brute_force_on_1k_transactions(self):
+        # the index must agree with naive subset checking — rules AND order
+        rng = random.Random(42)
+        book = RuleBook(rules=random_rules(rng, 300, n_items=50))
+        index = RuleIndex.from_rulebook(book)
+        vocabulary = [str(item) for item in book.vocabulary()]
+
+        n_fired = 0
+        for _ in range(1000):
+            transaction = rng.sample(vocabulary, rng.randint(0, 12))
+            expected = brute_force_match(index.rules, transaction)
+            got = [m.rule for m in index.match(transaction)]
+            assert got == expected
+            n_fired += len(got)
+        assert n_fired > 0, "test vocabulary never fired a rule — too sparse"
+
+    def test_near_misses_agree_with_brute_force(self):
+        rng = random.Random(43)
+        book = RuleBook(rules=random_rules(rng, 200, n_items=40))
+        index = RuleIndex.from_rulebook(book)
+        vocabulary = [str(item) for item in book.vocabulary()]
+
+        n_near = 0
+        for _ in range(500):
+            transaction = rng.sample(vocabulary, rng.randint(0, 10))
+            expected = brute_force_near(index.rules, transaction)
+            got = index.explain(transaction)
+            assert [n.rule for n in got] == expected
+            items = {as_item(i) for i in transaction}
+            for near in got:
+                assert near.missing in near.rule.antecedent
+                assert near.missing not in items
+            n_near += len(got)
+        assert n_near > 0
+
+
+class TestMatching:
+    def test_ranked_by_lift(self):
+        book = RuleBook(rules=random_rules(random.Random(1), 100, n_items=20))
+        index = RuleIndex.from_rulebook(book)
+        vocabulary = [str(item) for item in book.vocabulary()]
+        matches = index.match(vocabulary)  # a transaction with every item
+        assert len(matches) == len(book)
+        lifts = [m.rule.lift for m in matches]
+        assert lifts == sorted(lifts, reverse=True)
+
+    def test_unknown_items_ignored(self):
+        book = RuleBook(rules=random_rules(random.Random(2), 20))
+        index = RuleIndex.from_rulebook(book)
+        assert index.match(["Never = Seen", "Ghost"]) == []
+        assert index.explain(["Never = Seen"]) == []
+
+    def test_empty_transaction(self):
+        book = RuleBook(rules=random_rules(random.Random(3), 20))
+        index = RuleIndex.from_rulebook(book)
+        assert index.match([]) == []
+        assert index.explain([]) == []
+
+    def test_consequent_observed_flag(self):
+        rng = random.Random(4)
+        book = RuleBook(rules=random_rules(rng, 50, n_items=15))
+        index = RuleIndex.from_rulebook(book)
+        rule = index.rules[0]
+        only_ant = [str(i) for i in rule.antecedent]
+        with_cons = only_ant + [str(i) for i in rule.consequent]
+        fired_ant = {m.rule_id: m for m in index.match(only_ant)}
+        fired_full = {m.rule_id: m for m in index.match(with_cons)}
+        assert not fired_ant[0].consequent_observed
+        assert fired_full[0].consequent_observed
+
+    def test_accepts_item_objects_and_strings(self):
+        book = RuleBook(rules=random_rules(random.Random(5), 20))
+        index = RuleIndex.from_rulebook(book)
+        rule = index.rules[0]
+        as_strings = [str(i) for i in rule.antecedent]
+        as_items = list(rule.antecedent)
+        assert [m.rule_id for m in index.match(as_strings)] == [
+            m.rule_id for m in index.match(as_items)
+        ]
+
+    def test_postings_cost_reported(self):
+        book = RuleBook(rules=random_rules(random.Random(6), 30))
+        index = RuleIndex.from_rulebook(book)
+        assert index.n_postings == sum(len(r.antecedent) for r in index.rules)
+        assert "n_rules=30" in repr(index)
+
+    def test_rule_labels_stable(self):
+        book = RuleBook(rules=random_rules(random.Random(8), 10))
+        index = RuleIndex.from_rulebook(book)
+        labels = list(index.iter_rule_labels())
+        assert len(labels) == 10
+        assert labels[0] == index.rule_label(0)
+        assert " => " in labels[0]

@@ -1,0 +1,201 @@
+"""Tests for RuleBook persistence: exact round trips, schema versioning."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core import MiningConfig
+from repro.core.items import Item, ItemVocabulary
+from repro.core.rules import AssociationRule
+from repro.serve import SCHEMA_VERSION, RuleBook, RuleBookSchemaError
+from repro.traces import SuperCloudConfig, generate_supercloud, supercloud_preprocessor
+from repro.analysis import InterpretableAnalysis
+
+
+def random_rules(rng: random.Random, n_rules: int, n_items: int = 40):
+    """Random but well-formed rules over a shared vocabulary.
+
+    Metrics are arbitrary floats (not mutually consistent) on purpose:
+    persistence must round-trip whatever values the rule carries,
+    including the conviction = inf of exact implications.
+    """
+    vocabulary = ItemVocabulary(
+        Item(f"F{k % 7}", f"v{k}") for k in range(n_items)
+    )
+    rules = []
+    for _ in range(n_rules):
+        size = rng.randint(2, 6)
+        ids = rng.sample(range(n_items), size)
+        cut = rng.randint(1, size - 1)
+        antecedent_ids = frozenset(ids[:cut])
+        consequent_ids = frozenset(ids[cut:])
+        rules.append(
+            AssociationRule(
+                antecedent=vocabulary.items_of(antecedent_ids),
+                consequent=vocabulary.items_of(consequent_ids),
+                antecedent_ids=antecedent_ids,
+                consequent_ids=consequent_ids,
+                support=rng.random(),
+                confidence=rng.random(),
+                lift=rng.random() * 10,
+                leverage=rng.random() - 0.5,
+                conviction=math.inf if rng.random() < 0.2 else rng.random() * 5,
+            )
+        )
+    return rules
+
+
+class TestRoundTrip:
+    def test_every_field_survives_bit_exact(self, tmp_path):
+        # property-style: many random rules, every field compared exactly
+        rng = random.Random(7)
+        book = RuleBook(
+            rules=random_rules(rng, 200),
+            trace="pai",
+            keywords={"failure": "Failed", "underutil": "SM Util = 0%"},
+            config=MiningConfig(min_support=0.03, max_len=4),
+            fingerprint="cafe" * 8,
+            backend="auto:serial",
+            n_transactions=12345,
+        )
+        path = tmp_path / "book.jsonl"
+        book.save(path)
+        loaded = RuleBook.load(path)
+
+        assert len(loaded) == len(book)
+        for original, restored in zip(book.rules, loaded.rules):
+            assert restored.antecedent == original.antecedent
+            assert restored.consequent == original.consequent
+            assert restored.antecedent_ids == original.antecedent_ids
+            assert restored.consequent_ids == original.consequent_ids
+            for name in ("support", "confidence", "lift", "leverage"):
+                assert getattr(restored, name) == getattr(original, name)
+            if math.isinf(original.conviction):
+                assert math.isinf(restored.conviction)
+            else:
+                assert restored.conviction == original.conviction
+        assert loaded.trace == book.trace
+        assert loaded.keywords == book.keywords
+        assert loaded.config == book.config
+        assert loaded.fingerprint == book.fingerprint
+        assert loaded.backend == book.backend
+        assert loaded.n_transactions == book.n_transactions
+
+    def test_save_load_save_is_byte_stable(self, tmp_path):
+        rng = random.Random(11)
+        book = RuleBook(rules=random_rules(rng, 50))
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        book.save(first)
+        RuleBook.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_file_is_strict_json_lines(self, tmp_path):
+        # even with inf conviction every line must parse as strict JSON
+        rng = random.Random(3)
+        rules = random_rules(rng, 30)
+        assert any(math.isinf(r.conviction) for r in rules)
+        path = tmp_path / "book.jsonl"
+        RuleBook(rules=rules).save(path)
+        for line in path.read_text().splitlines():
+            json.loads(line)  # json.loads accepts Infinity; check the text
+            assert "Infinity" not in line
+
+    def test_id_space_is_canonical(self, tmp_path):
+        # two books over the same rules mined through differently-ordered
+        # vocabularies serialize identically
+        rules = random_rules(random.Random(5), 20)
+        shuffled = list(rules)
+        random.Random(6).shuffle(shuffled)
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        RuleBook(rules=rules).save(a)
+        RuleBook(rules=shuffled).save(b)
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestSchemaGuards:
+    def test_refuses_other_schema_version(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        RuleBook(rules=random_rules(random.Random(0), 3)).save(path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(RuleBookSchemaError, match="schema_version"):
+            RuleBook.load(path)
+
+    def test_refuses_missing_header(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        path.write_text('{"record": "rule"}\n')
+        with pytest.raises(RuleBookSchemaError, match="header"):
+            RuleBook.load(path)
+
+    def test_refuses_empty_file(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        path.write_text("")
+        with pytest.raises(RuleBookSchemaError, match="empty"):
+            RuleBook.load(path)
+
+    def test_refuses_garbage(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(RuleBookSchemaError, match="not JSON"):
+            RuleBook.load(path)
+
+    def test_refuses_truncated_body(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        RuleBook(rules=random_rules(random.Random(1), 5)).save(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last rule
+        with pytest.raises(RuleBookSchemaError, match="truncated"):
+            RuleBook.load(path)
+
+    def test_refuses_out_of_table_item_id(self, tmp_path):
+        path = tmp_path / "book.jsonl"
+        RuleBook(rules=random_rules(random.Random(2), 2)).save(path)
+        lines = path.read_text().splitlines()
+        rule = json.loads(lines[1])
+        rule["antecedent_ids"] = [10_000]
+        header = json.loads(lines[0])
+        del header["n_rules"]  # disarm the count check; target the id check
+        path.write_text(
+            "\n".join([json.dumps(header), json.dumps(rule)] + lines[2:]) + "\n"
+        )
+        with pytest.raises(RuleBookSchemaError, match="bad rule record"):
+            RuleBook.load(path)
+
+
+class TestFromAnalysis:
+    def test_workflow_export_hook(self, tmp_path):
+        table = generate_supercloud(SuperCloudConfig(n_jobs=3000, use_scheduler=False))
+        workflow = InterpretableAnalysis(supercloud_preprocessor())
+        result = workflow.run(table, {"failure": "Failed"})
+        book = result.to_rulebook(trace="supercloud")
+
+        assert len(book) == len(result["failure"])
+        assert book.trace == "supercloud"
+        assert book.keywords == {"failure": "Failed"}
+        assert book.config == result.config
+        assert book.fingerprint == result.preprocess.database.fingerprint()
+        assert book.n_transactions == len(result.preprocess.database)
+        # ranked by lift descending, and the rule content survives the disk
+        lifts = [r.lift for r in book.rules]
+        assert lifts == sorted(lifts, reverse=True)
+        path = tmp_path / "supercloud.jsonl"
+        book.save(path)
+        loaded = RuleBook.load(path)
+        assert {(r.antecedent, r.consequent) for r in loaded.rules} == {
+            (r.antecedent, r.consequent) for r in result["failure"].all_rules
+        }
+
+    def test_pooled_keywords_deduplicate(self):
+        table = generate_supercloud(SuperCloudConfig(n_jobs=3000, use_scheduler=False))
+        workflow = InterpretableAnalysis(supercloud_preprocessor())
+        result = workflow.run(
+            table, {"a": "Failed", "b": "Failed"}  # same keyword twice
+        )
+        book = result.to_rulebook()
+        keys = [(r.antecedent, r.consequent) for r in book.rules]
+        assert len(keys) == len(set(keys))
+        assert len(book) == len(result["a"])

@@ -1,0 +1,309 @@
+"""Tests for the asyncio rule service: protocol, backpressure, drain."""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.engine import LatencyHistogram
+from repro.serve import (
+    RuleBook,
+    RuleIndex,
+    RuleService,
+    RuleServiceClient,
+    ServiceError,
+    replay_traffic,
+)
+
+from .test_serve_rulebook import random_rules
+
+
+def make_index(seed=0, n_rules=50, n_items=20) -> RuleIndex:
+    book = RuleBook(rules=random_rules(random.Random(seed), n_rules, n_items))
+    return RuleIndex.from_rulebook(book)
+
+
+class SlowService(RuleService):
+    """Batch processing slowed down to force queue buildup in tests."""
+
+    def __init__(self, *args, delay_s: float = 0.05, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.delay_s = delay_s
+
+    async def _process_batch(self, batch):
+        await asyncio.sleep(self.delay_s)
+        await super()._process_batch(batch)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestProtocol:
+    def test_healthz_match_metrics(self):
+        index = make_index()
+
+        async def scenario():
+            service = RuleService(index)
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    health = await client.healthz()
+                    assert health["status"] == "ok"
+                    assert health["n_rules"] == len(index)
+                    assert health["uptime_s"] >= 0
+
+                    transaction = [str(i) for i in index.rules[0].antecedent]
+                    result = await client.match(transaction, explain=True)
+                    assert result["type"] == "match_result"
+                    assert any(m["rule_id"] == 0 for m in result["fired"])
+                    assert "near_misses" in result
+
+                    metrics = await client.metrics()
+                    assert metrics["requests"]["matched"] == 1
+                    assert metrics["latency"]["count"] == 1
+                    assert metrics["queue_depth"] == 0
+                    assert any(
+                        count == 1 for count in metrics["rule_matches"].values()
+                    )
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_matches_agree_with_direct_index(self):
+        index = make_index(seed=9)
+        vocabulary = sorted(
+            {str(i) for rule in index.rules for i in rule.antecedent}
+        )
+        rng = random.Random(17)
+        transactions = [
+            rng.sample(vocabulary, rng.randint(0, 8)) for _ in range(50)
+        ]
+
+        async def scenario():
+            service = RuleService(index)
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    for transaction in transactions:
+                        response = await client.match(transaction)
+                        expected = [m.rule_id for m in index.match(transaction)]
+                        got = [m["rule_id"] for m in response["fired"]]
+                        assert got == expected
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_bad_requests_rejected_not_fatal(self):
+        async def scenario():
+            service = RuleService(make_index())
+            await service.start(port=0)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port
+                )
+                for payload in (
+                    b"not json\n",
+                    b'{"type": "unknown"}\n',
+                    b'{"type": "match", "transaction": "nope"}\n',
+                    b'[1, 2]\n',
+                ):
+                    writer.write(payload)
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    assert response["type"] == "error"
+                    assert response["error"] == "bad_request"
+                # the connection still works after every rejection
+                writer.write(b'{"type": "healthz"}\n')
+                await writer.drain()
+                assert json.loads(await reader.readline())["status"] == "ok"
+                writer.close()
+                await writer.wait_closed()
+                assert service.metrics.n_bad_requests == 4
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_concurrent_clients_are_batched(self):
+        index = make_index()
+        transaction = [str(i) for i in index.rules[0].antecedent]
+
+        async def one_client(port):
+            async with await RuleServiceClient.connect("127.0.0.1", port) as c:
+                return await c.match(transaction)
+
+        async def scenario():
+            # a slow batcher lets concurrent requests pile into one batch
+            service = SlowService(make_index(), delay_s=0.05, max_batch=64)
+            await service.start(port=0)
+            try:
+                results = await asyncio.gather(
+                    *(one_client(service.port) for _ in range(16))
+                )
+                assert all(r["type"] == "match_result" for r in results)
+                assert service.metrics.n_batches < 16  # batching happened
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_overload_rejected_with_retry_after(self):
+        async def scenario():
+            service = SlowService(
+                make_index(), delay_s=0.2, max_queue=2, max_batch=1,
+                retry_after_s=0.123,
+            )
+            await service.start(port=0)
+            try:
+                async def one(port):
+                    async with await RuleServiceClient.connect(
+                        "127.0.0.1", port
+                    ) as client:
+                        try:
+                            return await client.match(["X = 1"])
+                        except ServiceError as exc:
+                            return exc
+
+                outcomes = await asyncio.gather(
+                    *(one(service.port) for _ in range(10))
+                )
+                rejected = [o for o in outcomes if isinstance(o, ServiceError)]
+                served = [o for o in outcomes if not isinstance(o, ServiceError)]
+                assert rejected, "queue of 2 must shed some of 10 requests"
+                assert served, "some requests must still be served"
+                for exc in rejected:
+                    assert exc.code == "overloaded"
+                    assert exc.retry_after == pytest.approx(0.123)
+                assert service.metrics.n_rejected == len(rejected)
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_replay_traffic_retries_through_backpressure(self):
+        index = make_index()
+        vocabulary = sorted(
+            {str(i) for rule in index.rules for i in rule.antecedent}
+        )
+        rng = random.Random(5)
+        transactions = [
+            rng.sample(vocabulary, rng.randint(1, 6)) for _ in range(60)
+        ]
+
+        async def scenario():
+            service = SlowService(
+                index, delay_s=0.01, max_queue=4, max_batch=2
+            )
+            await service.start(port=0)
+            try:
+                stats = await replay_traffic(
+                    "127.0.0.1",
+                    service.port,
+                    transactions,
+                    concurrency=6,
+                )
+            finally:
+                await service.shutdown()
+            return stats
+
+        stats = run(scenario())
+        # every job eventually served: rejections were retried, not dropped
+        assert stats.n_requests == len(transactions)
+        assert stats.n_failed == 0
+        assert stats.seconds > 0
+
+
+class TestShutdown:
+    def test_graceful_drain_answers_queued_requests(self):
+        index = make_index()
+        transaction = [str(i) for i in index.rules[0].antecedent]
+
+        async def scenario():
+            service = SlowService(index, delay_s=0.05, max_batch=1)
+            await service.start(port=0)
+            port = service.port
+
+            async def one():
+                async with await RuleServiceClient.connect("127.0.0.1", port) as c:
+                    return await c.match(transaction)
+
+            pending = [asyncio.create_task(one()) for _ in range(6)]
+            # wait until every request is either queued or already answered
+            # (a fixed sleep races with slow machines: a request arriving
+            # after the drain starts is rejected, not drained)
+            while service.metrics.n_matched + service._queue.qsize() < 6:
+                await asyncio.sleep(0.005)
+            await service.shutdown()
+            results = await asyncio.gather(*pending)
+            assert all(r["type"] == "match_result" for r in results)
+            # fully stopped: new connections are refused
+            with pytest.raises(OSError):
+                await asyncio.open_connection("127.0.0.1", port)
+
+        run(scenario())
+
+    def test_restart_after_shutdown(self):
+        async def scenario():
+            service = RuleService(make_index())
+            await service.start(port=0)
+            await service.shutdown()
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    assert (await client.healthz())["status"] == "ok"
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+
+class TestLatencyHistogram:
+    def test_quantiles_bracket_samples(self):
+        hist = LatencyHistogram()
+        rng = random.Random(0)
+        samples = [rng.uniform(1e-4, 1e-2) for _ in range(10_000)]
+        for s in samples:
+            hist.record(s)
+        samples.sort()
+        for q in (0.5, 0.9, 0.99):
+            exact = samples[int(q * (len(samples) - 1))]
+            approx = hist.quantile(q)
+            # log-bucketed: within one bucket width (~9 %) of the truth
+            assert exact / 1.2 <= approx <= exact * 1.2
+        assert hist.quantile(0.0) >= min(samples) / 1.2
+        assert hist.quantile(1.0) == pytest.approx(max(samples))
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert len(hist) == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.mean == 0.0
+        assert hist.as_dict()["count"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_seconds=0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+    def test_overflow_and_clamp(self):
+        hist = LatencyHistogram(max_seconds=1.0)
+        hist.record(5.0)  # beyond the last bucket
+        hist.record(-1.0)  # clamps to zero
+        assert len(hist) == 2
+        assert hist.quantile(1.0) == 5.0
+        assert hist.as_dict()["min_s"] == 0.0

@@ -30,8 +30,21 @@ class TestWindowMaintenance:
         miner.observe(["a"])
         assert miner.item_support("ghost") == 0.0
 
-    def test_empty_window_support_zero(self):
-        assert SlidingWindowMiner(window_size=2).item_support("a") == 0.0
+    def test_empty_window_support_raises(self):
+        # regression: support over zero transactions is undefined and must
+        # fail loudly, not read as "item absent" (0.0) or divide by zero
+        miner = SlidingWindowMiner(window_size=2)
+        with pytest.raises(ValueError, match="empty window"):
+            miner.item_support("a")
+
+    def test_window_emptiness_is_about_window_not_stream(self):
+        # after enough evictions the window is never empty again, so the
+        # guard only ever fires before the first observe()
+        miner = SlidingWindowMiner(window_size=1)
+        miner.observe(["a"])
+        miner.observe(["b"])
+        assert miner.item_support("a") == 0.0
+        assert miner.item_support("b") == 1.0
 
     def test_invalid_window(self):
         with pytest.raises(ValueError):
