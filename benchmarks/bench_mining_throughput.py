@@ -1,0 +1,202 @@
+"""Mining-throughput benchmark: packed-bitmap kernels vs legacy paths.
+
+Times the production kernels against their pre-kernel references on a
+synthetic PAI trace at the paper's operating point (support = 5 %,
+max_len = 5):
+
+* FP-Growth — struct-of-arrays tree (:func:`repro.core.fpgrowth.fpgrowth`)
+  vs the object tree (:func:`~repro.core.fpgrowth.fpgrowth_object`);
+* Eclat / Apriori — packed uint64 bitsets vs the dense boolean matrix
+  (:mod:`repro.core.legacy`);
+* SON phase-2 counting — packed vs dense candidate counting;
+* rule generation — batch numpy scoring (timed; answer checked against
+  scalar :func:`~repro.core.metrics.compute_metrics` in the test suite).
+
+Every comparison asserts *answer equality first* — a speedup over a
+wrong answer is worthless — then reports wall times, jobs/s and
+speedups.  Results go to ``BENCH_mining.json`` (machine-readable, repo
+root) and ``benchmarks/output/mining_throughput.txt`` (human-readable).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mining_throughput.py \
+        [--n-jobs 100000] [--repeats 2] [--check-only]
+
+``--check-only`` runs the equality assertions on a small trace and skips
+artifact writing — the CI perf-smoke job (answers must match on every
+platform; speed is only asserted locally at full scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import write_artifact  # noqa: E402
+
+from repro.core import MiningConfig, generate_rules  # noqa: E402
+from repro.core.bitmap import clear_bitmap_cache  # noqa: E402
+from repro.core.fpgrowth import fpgrowth, fpgrowth_object  # noqa: E402
+from repro.core.eclat import eclat  # noqa: E402
+from repro.core.apriori import apriori  # noqa: E402
+from repro.core.itemsets import FrequentItemsets  # noqa: E402
+from repro.core.legacy import (  # noqa: E402
+    apriori_dense,
+    count_candidates_dense,
+    eclat_dense,
+)
+from repro.parallel.partition import count_candidates  # noqa: E402
+from repro.traces import PAIConfig, generate_pai, pai_preprocessor  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_mining.json"
+
+
+def _best_of(fn, repeats: int):
+    """(best wall seconds, last result) over *repeats* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run(n_jobs: int, repeats: int, check_only: bool) -> dict:
+    config = MiningConfig()  # paper defaults: support=0.05, max_len=5
+    table = generate_pai(PAIConfig(n_jobs=n_jobs))
+    db = pai_preprocessor().run(table).database
+    n = len(db)
+
+    stages: dict[str, float] = {}
+
+    # bitmap build (cold), then mining reuses the cached build
+    clear_bitmap_cache()
+    t0 = time.perf_counter()
+    db.bitmaps()
+    stages["bitmap-build"] = time.perf_counter() - t0
+
+    pairs = {
+        "fpgrowth": (fpgrowth, fpgrowth_object),
+        "eclat": (eclat, eclat_dense),
+        "apriori": (apriori, apriori_dense),
+    }
+    speedups: dict[str, float] = {}
+    reference = None
+    for name, (kernel_fn, legacy_fn) in pairs.items():
+        k_sec, k_out = _best_of(
+            lambda f=kernel_fn: f(db, config.min_support, config.max_len), repeats
+        )
+        l_sec, l_out = _best_of(
+            lambda f=legacy_fn: f(db, config.min_support, config.max_len), repeats
+        )
+        assert k_out == l_out, f"{name}: kernel and legacy answers differ"
+        if reference is None:
+            reference = k_out
+        else:
+            assert k_out == reference, f"{name}: differs from fpgrowth"
+        stages[f"mine-{name}-kernel"] = k_sec
+        stages[f"mine-{name}-legacy"] = l_sec
+        speedups[name] = l_sec / k_sec if k_sec > 0 else float("inf")
+
+    # SON phase 2: exact candidate counting, packed vs dense
+    candidates = set(reference)
+    c_sec, packed_counts = _best_of(
+        lambda: count_candidates(db, candidates), repeats
+    )
+    d_sec, dense_counts = _best_of(
+        lambda: count_candidates_dense(db, candidates), repeats
+    )
+    assert packed_counts == dense_counts, "phase-2 counting answers differ"
+    stages["count-candidates-kernel"] = c_sec
+    stages["count-candidates-legacy"] = d_sec
+    speedups["count-candidates"] = d_sec / c_sec if c_sec > 0 else float("inf")
+
+    # rule generation over the mined itemsets (batch scoring path)
+    itemsets = FrequentItemsets(
+        dict(reference), db.vocabulary, n, config.min_support, config.max_len
+    )
+    r_sec, rules = _best_of(
+        lambda: generate_rules(itemsets, min_lift=config.min_lift), repeats
+    )
+    stages["generate-rules"] = r_sec
+
+    kernel_mine = stages["mine-fpgrowth-kernel"]
+    legacy_mine = stages["mine-fpgrowth-legacy"]
+    payload = {
+        "trace": "pai",
+        "n_jobs": n_jobs,
+        "n_transactions": n,
+        "min_support": config.min_support,
+        "max_len": config.max_len,
+        "repeats": repeats,
+        "n_itemsets": len(reference),
+        "n_rules": len(rules),
+        "answers_equal": True,
+        "stages_seconds": stages,
+        "jobs_per_s": {
+            "kernel": n / kernel_mine if kernel_mine > 0 else float("inf"),
+            "legacy": n / legacy_mine if legacy_mine > 0 else float("inf"),
+        },
+        "speedup": {**speedups, "end_to_end_mine": speedups["fpgrowth"]},
+    }
+
+    if not check_only:
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        lines = [
+            "Mining throughput — packed-bitmap kernels vs legacy paths",
+            f"PAI trace, {n_jobs} jobs ({n} transactions), "
+            f"support={config.min_support}, max_len={config.max_len}, "
+            f"best of {repeats}",
+            "",
+            f"{'stage':<28} {'kernel':>10} {'legacy':>10} {'speedup':>9}",
+        ]
+        for name in ("fpgrowth", "eclat", "apriori", "count-candidates"):
+            prefix = f"mine-{name}" if name in pairs else name
+            k = stages[f"{prefix}-kernel"]
+            l = stages[f"{prefix}-legacy"]
+            lines.append(
+                f"{name:<28} {k:>9.3f}s {l:>9.3f}s {speedups[name]:>8.2f}x"
+            )
+        lines += [
+            f"{'bitmap-build':<28} {stages['bitmap-build']:>9.3f}s",
+            f"{'generate-rules':<28} {stages['generate-rules']:>9.3f}s",
+            "",
+            f"jobs/s (fpgrowth mine): kernel {payload['jobs_per_s']['kernel']:,.0f}"
+            f" / legacy {payload['jobs_per_s']['legacy']:,.0f}",
+            f"itemsets: {len(reference)}, rules: {len(rules)}"
+            " — all kernel/legacy answers identical",
+        ]
+        text = "\n".join(lines)
+        write_artifact("mining_throughput.txt", text)
+        print(text)
+    else:
+        print(
+            f"check-only: {len(reference)} itemsets, {len(rules)} rules — "
+            "kernel and legacy answers identical on all paths"
+        )
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=100_000)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="assert kernel/legacy answer equality only; write no artifacts",
+    )
+    args = parser.parse_args(argv)
+    run(args.n_jobs, args.repeats, args.check_only)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

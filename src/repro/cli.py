@@ -155,6 +155,8 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
                      help="worker count for threaded/process backends")
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the content-addressed itemset cache")
+    sub.add_argument("--profile", action="store_true",
+                     help="show per-stage kernel attribution in the stats footer")
 
 
 def _engine_from(args: argparse.Namespace) -> MiningEngine:
@@ -231,7 +233,7 @@ def cmd_analyze(args: argparse.Namespace) -> str:
         f"generated ({rules.report})"
     )
     if result.stats is not None:
-        footer += "\n\n" + result.stats.render()
+        footer += "\n\n" + result.stats.render(profile=args.profile)
     return str(rule_table) + footer
 
 
@@ -252,7 +254,7 @@ def cmd_mine_rulebook(args: argparse.Namespace) -> str:
     lines = [f"wrote RuleBook to {args.output}", f"  {book.provenance()}"]
     if result.stats is not None:
         lines.append("")
-        lines.append(result.stats.render())
+        lines.append(result.stats.render(profile=args.profile))
     return "\n".join(lines)
 
 
@@ -329,7 +331,7 @@ def cmd_casestudy(args: argparse.Namespace) -> str:
     study = full_case_study(args.trace, n_jobs=args.n_jobs, engine=_engine_from(args))
     rendered = study.render()
     if study.analysis.stats is not None:
-        rendered += "\n" + study.analysis.stats.render()
+        rendered += "\n" + study.analysis.stats.render(profile=args.profile)
     return rendered
 
 

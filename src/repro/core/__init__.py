@@ -4,6 +4,8 @@ Layers, bottom to top:
 
 * :mod:`repro.core.items` / :mod:`repro.core.transactions` — interned
   items and the CSR transaction database.
+* :mod:`repro.core.bitmap` — packed uint64 occurrence bitsets, the
+  counting kernel every miner shares.
 * :mod:`repro.core.fpgrowth`, :mod:`repro.core.apriori`,
   :mod:`repro.core.eclat` — interchangeable frequent-itemset miners.
 * :mod:`repro.core.itemsets`, :mod:`repro.core.metrics`,
@@ -14,8 +16,9 @@ Layers, bottom to top:
 """
 
 from .apriori import apriori, apriori_naive, generate_candidates
+from .bitmap import PackedBitmaps, popcount
 from .eclat import eclat
-from .fpgrowth import FPNode, FPTree, fpgrowth
+from .fpgrowth import FPNode, FPTree, fpgrowth, fpgrowth_object
 from .items import Item, ItemVocabulary, render_itemset
 from .interest import (
     ExtendedMetrics,
@@ -46,7 +49,10 @@ __all__ = [
     "ItemVocabulary",
     "render_itemset",
     "TransactionDatabase",
+    "PackedBitmaps",
+    "popcount",
     "fpgrowth",
+    "fpgrowth_object",
     "FPTree",
     "FPNode",
     "apriori",

@@ -84,8 +84,7 @@ def mine_negative_keyword_rules(
     if supp_not_k <= 0.0:
         return []
 
-    vertical = db.vertical()
-    kw_mask = vertical[kw_id]
+    bitmaps = db.bitmaps()
 
     rules: list[NegativeRule] = []
     for itemset, count_x in itemsets.counts.items():
@@ -97,11 +96,7 @@ def mine_negative_keyword_rules(
         if with_k is not None:
             supp_xk = with_k / n
         else:
-            ids = sorted(itemset)
-            mask = vertical[ids[0]]
-            for i in ids[1:]:
-                mask = mask & vertical[i]
-            supp_xk = float((mask & kw_mask).sum()) / n
+            supp_xk = bitmaps.support_count(sorted(itemset) + [kw_id]) / n
         supp_x_not_k = supp_x - supp_xk
         if supp_x_not_k < config.min_support - 1e-12:
             continue

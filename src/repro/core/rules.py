@@ -17,6 +17,9 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterable
 
+import numpy as np
+
+from .bitmap import kernel_timer
 from .items import Item, ItemVocabulary, render_itemset
 from .itemsets import FrequentItemsets
 from .metrics import RuleMetrics, compute_metrics
@@ -165,12 +168,21 @@ def generate_rules(
     else:
         surface = counts.items()
 
+    # enumerate every split first, then score the whole batch with numpy:
+    # the metric arithmetic is identical IEEE-double arithmetic to
+    # compute_metrics, but runs once over arrays instead of per split, and
+    # AssociationRule objects are materialised only for survivors
+    antecedents: list[frozenset[int]] = []
+    consequents: list[frozenset[int]] = []
+    count_xy_l: list[int] = []
+    count_x_l: list[int] = []
+    count_y_l: list[int] = []
+
     for itemset, count_xy in surface:
         if len(itemset) < 2:
             continue
         if keywords is not None and not (itemset & keywords):
             continue
-        supp_xy = count_xy / n
         members = sorted(itemset)
         # every split of the itemset into non-empty (antecedent, consequent)
         for size in range(1, len(members)):
@@ -183,12 +195,40 @@ def generate_rules(
                     # cannot happen for a downward-closed itemset table, but
                     # partitioned (SON) candidate sets may be incomplete
                     continue
-                metrics = compute_metrics(supp_xy, count_x / n, count_y / n)
-                if metrics.lift < min_lift or metrics.confidence < min_confidence:
-                    continue
-                rules.append(
-                    _make_rule(antecedent_ids, consequent_ids, metrics, vocabulary)
-                )
+                antecedents.append(antecedent_ids)
+                consequents.append(consequent_ids)
+                count_xy_l.append(count_xy)
+                count_x_l.append(count_x)
+                count_y_l.append(count_y)
+
+    if not count_xy_l:
+        return []
+
+    with kernel_timer("rules-batch"):
+        supp_xy = np.asarray(count_xy_l, dtype=np.float64) / n
+        supp_x = np.asarray(count_x_l, dtype=np.float64) / n
+        supp_y = np.asarray(count_y_l, dtype=np.float64) / n
+        denom = supp_x * supp_y
+        with np.errstate(divide="ignore", invalid="ignore"):
+            conf = np.where(supp_x > 0.0, supp_xy / supp_x, 0.0)
+            lift_arr = np.where(denom > 0.0, supp_xy / denom, 0.0)
+            conviction_arr = np.where(
+                conf >= 1.0, np.inf, (1.0 - supp_y) / (1.0 - conf)
+            )
+        leverage_arr = supp_xy - denom
+        keep = np.flatnonzero((lift_arr >= min_lift) & (conf >= min_confidence))
+
+        for i in keep:
+            metrics = RuleMetrics(
+                support=float(supp_xy[i]),
+                confidence=float(conf[i]),
+                lift=float(lift_arr[i]),
+                leverage=float(leverage_arr[i]),
+                conviction=float(conviction_arr[i]),
+            )
+            rules.append(
+                _make_rule(antecedents[i], consequents[i], metrics, vocabulary)
+            )
 
     rules.sort(
         key=lambda r: (

@@ -4,8 +4,10 @@ A :class:`TransactionDatabase` stores one transaction per job in CSR
 layout — a flat ``indices`` array of item ids plus an ``indptr`` offset
 array — exactly like a scipy CSR matrix but without the dependency.  The
 layout gives cache-friendly sequential scans (Apriori counting,
-FP-tree construction) and cheap per-item *vertical* views (boolean
-occurrence vectors) used by Eclat and by rule-metric evaluation.
+FP-tree construction) and cheap per-item *vertical* views used by Eclat
+and by rule-metric evaluation.  Vertical views are served as packed
+``uint64`` bitsets (:mod:`repro.core.bitmap`), 64 transactions per word,
+not as dense booleans — one bit per transaction instead of one byte.
 
 Invariants:
 
@@ -25,6 +27,10 @@ from .items import Item, ItemVocabulary, as_item
 
 __all__ = ["TransactionDatabase"]
 
+#: SON partition boundaries snap to this many transactions so that every
+#: partition starts on a bitmap word boundary (see :meth:`split`)
+_ALIGN = 64
+
 
 class TransactionDatabase:
     """An immutable set of transactions over an interned item vocabulary."""
@@ -33,7 +39,7 @@ class TransactionDatabase:
         "vocabulary",
         "indptr",
         "indices",
-        "_vertical_cache",
+        "_bitmaps_cache",
         "_fingerprint_cache",
     )
 
@@ -56,22 +62,35 @@ class TransactionDatabase:
             self.indices.min() < 0 or self.indices.max() >= len(vocabulary)
         ):
             raise ValueError("item id out of vocabulary range")
-        self._vertical_cache: np.ndarray | None = None
+        self._bitmaps_cache = None
         self._fingerprint_cache: str | None = None
 
     # -- construction --------------------------------------------------------
     @classmethod
     def from_itemsets(
         cls,
-        transactions: Iterable[Iterable[Item | str]],
+        transactions: Iterable[Iterable[Item | str | int]],
         vocabulary: ItemVocabulary | None = None,
     ) -> "TransactionDatabase":
         """Build from an iterable of item collections.
 
         Items are interned into *vocabulary* (a fresh one by default);
-        duplicates within a transaction are collapsed.
+        duplicates within a transaction are collapsed.  When a
+        vocabulary is supplied and the transactions are already
+        id-encoded (integer elements), construction takes the
+        vectorised :meth:`from_encoded` fast path instead of the
+        per-transaction ``sorted(set(...))`` loop.
         """
         vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        if vocabulary is not None:
+            txns = [
+                t if isinstance(t, (list, tuple)) else list(t)
+                for t in transactions
+            ]
+            probe = next((next(iter(t)) for t in txns if t), None)
+            if probe is None or isinstance(probe, (int, np.integer)):
+                return cls.from_encoded(txns, vocab)
+            transactions = txns
         indptr = [0]
         flat: list[int] = []
         for txn in transactions:
@@ -83,6 +102,52 @@ class TransactionDatabase:
             np.asarray(indptr, dtype=np.int64),
             np.asarray(flat, dtype=np.int32),
         )
+
+    @classmethod
+    def from_encoded(
+        cls,
+        transactions: Sequence[Sequence[int]],
+        vocabulary: ItemVocabulary,
+    ) -> "TransactionDatabase":
+        """Fast path for already id-encoded transactions.
+
+        Per-transaction sorting and deduplication happen in one
+        vectorised pass (a single lexsort over all ids) instead of a
+        Python-level ``sorted(set(...))`` per transaction — the
+        difference between O(jobs) interpreter iterations and a handful
+        of numpy calls when rebuilding databases from encoded streams
+        (sliding windows, replayed traces).
+        """
+        n = len(transactions)
+        if n == 0:
+            return cls(
+                vocabulary,
+                np.zeros(1, dtype=np.int64),
+                np.asarray([], dtype=np.int32),
+            )
+        lengths = np.fromiter(
+            (len(t) for t in transactions), dtype=np.int64, count=n
+        )
+        total = int(lengths.sum())
+        flat = np.empty(total, dtype=np.int64)
+        offset = 0
+        for txn, length in zip(transactions, lengths):
+            if length:
+                flat[offset : offset + length] = txn
+                offset += length
+        rows = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        order = np.lexsort((flat, rows))
+        flat = flat[order]
+        rows = rows[order]
+        if flat.size:
+            keep = np.concatenate(
+                ([True], (flat[1:] != flat[:-1]) | (rows[1:] != rows[:-1]))
+            )
+            flat = flat[keep]
+            rows = rows[keep]
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        return cls(vocabulary, indptr, flat.astype(np.int32))
 
     @classmethod
     def from_onehot(
@@ -156,22 +221,21 @@ class TransactionDatabase:
         """Support count of every item id, shape (n_items,)."""
         return np.bincount(self.indices, minlength=self.n_items).astype(np.int64)
 
-    def vertical(self) -> np.ndarray:
-        """Boolean occurrence matrix of shape (n_items, n_transactions).
+    def bitmaps(self):
+        """Packed per-item occurrence bitsets (:class:`PackedBitmaps`).
 
-        Column-major per item: ``vertical()[i]`` is the occurrence vector
-        of item ``i``.  Built lazily and cached; at trace scale (hundreds
-        of items × ~1e5 jobs) this is tens of MB of bools, which is the
-        memory/speed trade-off Eclat makes by design.
+        Built lazily; the instance caches a reference, and the build
+        itself is shared through a content-addressed cache keyed by
+        :meth:`fingerprint`, so equal-content databases (re-generated
+        traces, forked workers) reuse one build.  At trace scale this is
+        8× smaller than the dense boolean matrix it replaced —
+        ``n_items × n_transactions`` *bits*, not bytes.
         """
-        if self._vertical_cache is None:
-            mat = np.zeros((self.n_items, len(self)), dtype=bool)
-            rows = np.repeat(
-                np.arange(len(self), dtype=np.int64), np.diff(self.indptr)
-            )
-            mat[self.indices, rows] = True
-            self._vertical_cache = mat
-        return self._vertical_cache
+        if self._bitmaps_cache is None:
+            from .bitmap import get_shared_bitmaps
+
+            self._bitmaps_cache = get_shared_bitmaps(self)
+        return self._bitmaps_cache
 
     def fingerprint(self) -> str:
         """Content hash of the database: transactions plus vocabulary.
@@ -197,11 +261,7 @@ class TransactionDatabase:
         ids = self._to_ids(itemset)
         if not ids:
             return len(self)
-        vertical = self.vertical()
-        mask = vertical[ids[0]]
-        for i in ids[1:]:
-            mask = mask & vertical[i]
-        return int(mask.sum())
+        return self.bitmaps().support_count(sorted(ids))
 
     def support(self, itemset: Iterable[int | Item | str]) -> float:
         """supp(X) = σ(X) / |D| (Eq. 1)."""
@@ -250,13 +310,50 @@ class TransactionDatabase:
         )
         return TransactionDatabase(self.vocabulary, new_indptr, new_indices)
 
-    def split(self, n_parts: int) -> list["TransactionDatabase"]:
-        """Split into *n_parts* contiguous chunks (for SON partitioned mining)."""
+    def txn_range(self, start: int, stop: int) -> "TransactionDatabase":
+        """The contiguous transaction range ``[start, stop)`` as a database.
+
+        Zero-copy: the returned database's ``indices``/``indptr`` are
+        views of this one's arrays.  When this database's packed bitmaps
+        are already built and *start* is 64-aligned, the range inherits
+        a word-slice of them instead of rebuilding — the mechanism SON
+        partition workers use to reuse the parent's bitmaps.
+        """
+        if not 0 <= start <= stop <= len(self):
+            raise ValueError(f"invalid transaction range [{start}, {stop})")
+        lo = self.indptr[start]
+        sub = TransactionDatabase(
+            self.vocabulary,
+            self.indptr[start : stop + 1] - lo,
+            self.indices[lo : self.indptr[stop]],
+        )
+        if self._bitmaps_cache is not None and start % _ALIGN == 0:
+            sub._bitmaps_cache = self._bitmaps_cache.slice_range(start, stop)
+        return sub
+
+    def partition_bounds(self, n_parts: int) -> np.ndarray:
+        """Contiguous partition boundaries for :meth:`split`.
+
+        Evenly spaced, but snapped down to 64-transaction multiples when
+        the database is large enough — aligned partitions start on a
+        bitmap word boundary, so their bitmaps are word slices of the
+        parent's (see :meth:`txn_range`).  Alignment changes *which*
+        candidates SON phase 1 proposes, never the final answer (phase 2
+        recounts every candidate exactly).
+        """
         if n_parts < 1:
             raise ValueError("n_parts must be >= 1")
-        bounds = np.linspace(0, len(self), n_parts + 1).astype(np.int64)
+        n = len(self)
+        bounds = np.linspace(0, n, n_parts + 1).astype(np.int64)
+        if n >= n_parts * _ALIGN:
+            bounds[1:-1] = (bounds[1:-1] // _ALIGN) * _ALIGN
+        return bounds
+
+    def split(self, n_parts: int) -> list["TransactionDatabase"]:
+        """Split into *n_parts* contiguous chunks (for SON partitioned mining)."""
+        bounds = self.partition_bounds(n_parts)
         return [
-            self.sample(range(int(bounds[k]), int(bounds[k + 1])))
+            self.txn_range(int(bounds[k]), int(bounds[k + 1]))
             for k in range(n_parts)
             if bounds[k + 1] > bounds[k]
         ]

@@ -17,16 +17,23 @@ Backends register in :data:`BACKENDS`, mirroring the
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from ..core.bitmap import PackedBitmaps
 from ..core.itemsets import FrequentItemsets
 from ..core.mining import ALGORITHMS, MiningConfig
 from ..core.transactions import TransactionDatabase
-from ..parallel.partition import count_candidates, local_candidates
+from ..parallel import partition as _partition
+from ..parallel.partition import (
+    _forked_local_candidates,
+    count_candidates,
+    local_candidates,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -117,7 +124,32 @@ class _PartitionedBackend:
             return FrequentItemsets(
                 {}, db.vocabulary, 0, config.min_support, config.max_len
             )
-        parts = db.split(self.n_partitions)
+        # build the packed bitmaps up front: 64-aligned partitions then
+        # inherit word slices of this build (txn_range) instead of packing
+        # their own, and phase 2 counts against the same object
+        bitmaps = db.bitmaps()
+        bounds = db.partition_bounds(self.n_partitions)
+        spans = [
+            (int(bounds[k]), int(bounds[k + 1]))
+            for k in range(len(bounds) - 1)
+            if bounds[k + 1] > bounds[k]
+        ]
+        candidates = self._phase1(db, spans, config)
+        counts = self._phase2(db, candidates, bitmaps)
+        min_count = max(1, int(np.ceil(config.min_support * n - 1e-9)))
+        frequent = {s: c for s, c in counts.items() if c >= min_count}
+        return FrequentItemsets(
+            frequent, db.vocabulary, n, config.min_support, config.max_len
+        )
+
+    def _phase1(
+        self,
+        db: TransactionDatabase,
+        spans: list[tuple[int, int]],
+        config: MiningConfig,
+    ) -> set[frozenset[int]]:
+        """SON phase 1: union of locally frequent itemsets per partition."""
+        parts = [db.txn_range(a, b) for a, b in spans]
         args = (
             parts,
             [config.min_support] * len(parts),
@@ -131,17 +163,19 @@ class _PartitionedBackend:
                 max_workers=min(self.n_workers, len(parts))
             ) as pool:
                 locals_ = list(pool.map(local_candidates, *args))
-
         candidates: set[frozenset[int]] = set()
         for c in locals_:
             candidates |= c
+        return candidates
 
-        counts = count_candidates(db, candidates, vertical=db.vertical())
-        min_count = max(1, int(np.ceil(config.min_support * n - 1e-9)))
-        frequent = {s: c for s, c in counts.items() if c >= min_count}
-        return FrequentItemsets(
-            frequent, db.vocabulary, n, config.min_support, config.max_len
-        )
+    def _phase2(
+        self,
+        db: TransactionDatabase,
+        candidates: set[frozenset[int]],
+        bitmaps: PackedBitmaps,
+    ) -> dict[frozenset[int], int]:
+        """SON phase 2: exact global counts over the shared packed bitmaps."""
+        return count_candidates(db, candidates, bitmaps=bitmaps)
 
     def resolve(self, db: TransactionDatabase) -> "_PartitionedBackend":
         return self
@@ -154,17 +188,91 @@ class _PartitionedBackend:
 
 
 class ThreadedBackend(_PartitionedBackend):
-    """SON over a thread pool (shared-memory, no pickling)."""
+    """SON over a thread pool (shared-memory, no pickling).
+
+    Phase 1 partitions are zero-copy ``txn_range`` views sharing the
+    parent's bitmap slices; phase 2 shards the candidate set across the
+    same worker threads, each chunk an independent run of the packed
+    AND+popcount kernel (numpy releases the GIL, so the chunks genuinely
+    overlap).
+    """
 
     name = "threaded"
     _executor_cls = ThreadPoolExecutor
 
+    #: below this many candidates, thread dispatch costs more than it saves
+    _PHASE2_CHUNK_MIN = 256
+
+    def _phase2(
+        self,
+        db: TransactionDatabase,
+        candidates: set[frozenset[int]],
+        bitmaps: PackedBitmaps,
+    ) -> dict[frozenset[int], int]:
+        items = list(candidates)
+        n_chunks = min(self.n_workers, len(items) // self._PHASE2_CHUNK_MIN)
+        if n_chunks <= 1:
+            return count_candidates(db, items, bitmaps=bitmaps)
+        chunks = [items[i::n_chunks] for i in range(n_chunks)]
+        out: dict[frozenset[int], int] = {}
+        with ThreadPoolExecutor(max_workers=n_chunks) as pool:
+            for counted in pool.map(
+                lambda chunk: count_candidates(db, chunk, bitmaps=bitmaps),
+                chunks,
+            ):
+                out.update(counted)
+        return out
+
 
 class ProcessBackend(_PartitionedBackend):
-    """SON over a fork-based process pool (the distributed-miner shape)."""
+    """SON over a fork-based process pool (the distributed-miner shape).
+
+    When the platform supports the ``fork`` start method, workers inherit
+    the parent's database *and its already-built packed bitmaps* through
+    copy-on-write pages: phase 1 ships only ``(start, stop)`` transaction
+    spans, and each child takes a zero-copy ``txn_range`` view whose
+    bitmaps are word slices of the parent's.  Without fork (spawn-only
+    platforms) it falls back to pickling whole partitions.
+    """
 
     name = "process"
     _executor_cls = ProcessPoolExecutor
+
+    def _phase1(
+        self,
+        db: TransactionDatabase,
+        spans: list[tuple[int, int]],
+        config: MiningConfig,
+    ) -> set[frozenset[int]]:
+        if (
+            self.n_workers == 1
+            or len(spans) == 1
+            or "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            return super()._phase1(db, spans, config)
+        n_spans = len(spans)
+        _partition._FORK_DB = db
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(self.n_workers, n_spans),
+                mp_context=multiprocessing.get_context("fork"),
+            ) as pool:
+                locals_ = list(
+                    pool.map(
+                        _forked_local_candidates,
+                        [a for a, _ in spans],
+                        [b for _, b in spans],
+                        [config.min_support] * n_spans,
+                        [config.max_len] * n_spans,
+                        [config.algorithm] * n_spans,
+                    )
+                )
+        finally:
+            _partition._FORK_DB = None
+        candidates: set[frozenset[int]] = set()
+        for c in locals_:
+            candidates |= c
+        return candidates
 
 
 class AutoBackend:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..core.bitmap import kernel_delta, kernel_snapshot
 from ..core.itemsets import FrequentItemsets
 from ..core.items import Item, as_item
 from ..core.mining import KeywordRuleSet, MiningConfig
@@ -163,13 +164,22 @@ class MiningEngine:
         db = preprocess.database
         stats.add(StageStats("preprocess", t.seconds, len(table), len(db)))
 
+        before = kernel_snapshot()
         with StageTimer() as t:
             itemsets, cache_status = self.mine_with_status(db, config)
+        mine_kernels = kernel_delta(before, kernel_snapshot())
         resolved = self.backend.resolve(db)
         if resolved is not self.backend:
             stats.backend = f"{self.backend.name}:{resolved.name}"
         stats.add(
-            StageStats("mine", t.seconds, len(db), len(itemsets), cache_status)
+            StageStats(
+                "mine",
+                t.seconds,
+                len(db),
+                len(itemsets),
+                cache_status,
+                kernels=mine_kernels,
+            )
         )
 
         result = AnalysisResult(
@@ -178,6 +188,7 @@ class MiningEngine:
 
         generate_seconds = prune_seconds = 0.0
         n_generated = n_kept = 0
+        before = kernel_snapshot()
         for name, keyword in keywords.items():
             kw = as_item(keyword)
             with StageTimer() as t:
@@ -193,8 +204,15 @@ class MiningEngine:
             n_kept += len(ruleset)
             result.keyword_results[name] = ruleset
 
+        generate_kernels = kernel_delta(before, kernel_snapshot())
         stats.add(
-            StageStats("generate-rules", generate_seconds, len(itemsets), n_generated)
+            StageStats(
+                "generate-rules",
+                generate_seconds,
+                len(itemsets),
+                n_generated,
+                kernels=generate_kernels,
+            )
         )
         stats.add(StageStats("prune", prune_seconds, n_generated, n_kept))
         return result

@@ -27,13 +27,20 @@ CACHE_STATES = ("hit", "miss", "off", "n/a")
 
 @dataclass(frozen=True, slots=True)
 class StageStats:
-    """Instrumentation record of one pipeline stage."""
+    """Instrumentation record of one pipeline stage.
+
+    ``kernels`` attributes the stage's wall time to named counting
+    kernels: ``(name, seconds, calls)`` tuples from the kernel-counter
+    delta measured around the stage (see :mod:`repro.core.bitmap`).
+    Empty for stages that ran no instrumented kernel.
+    """
 
     name: str
     seconds: float
     n_in: int
     n_out: int
     cache: str = "n/a"
+    kernels: tuple[tuple[str, float, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_STATES:
@@ -46,6 +53,10 @@ class StageStats:
             "n_in": self.n_in,
             "n_out": self.n_out,
             "cache": self.cache,
+            "kernels": [
+                {"name": name, "seconds": seconds, "calls": calls}
+                for name, seconds, calls in self.kernels
+            ],
         }
 
 
@@ -88,8 +99,13 @@ class EngineStats:
             "stages": [stage.as_dict() for stage in self.stages],
         }
 
-    def render(self) -> str:
-        """Plain-text footer for the CLI (one line per stage)."""
+    def render(self, profile: bool = False) -> str:
+        """Plain-text footer for the CLI (one line per stage).
+
+        With ``profile=True``, each stage is followed by its kernel
+        attribution — which counting kernels ran, for how long, how many
+        times (the CLI ``--profile`` flag).
+        """
         lines = [
             f"engine stats — backend={self.backend} "
             f"cache={self.cache_hits} hit / {self.cache_misses} miss "
@@ -100,6 +116,11 @@ class EngineStats:
                 f"  {stage.name:<14} {stage.seconds:>8.3f}s  "
                 f"in={stage.n_in:<8} out={stage.n_out:<8} cache={stage.cache}"
             )
+            if profile:
+                for name, seconds, calls in stage.kernels:
+                    lines.append(
+                        f"    kernel {name:<16} {seconds:>8.3f}s  calls={calls}"
+                    )
         return "\n".join(lines)
 
 

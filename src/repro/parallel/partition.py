@@ -25,14 +25,20 @@ shim over that backend.
 from __future__ import annotations
 
 import warnings
+from collections.abc import Iterable
 
-import numpy as np
-
+from ..core.bitmap import PackedBitmaps, kernel_timer
 from ..core.itemsets import FrequentItemsets
 from ..core.mining import ALGORITHMS, MiningConfig
 from ..core.transactions import TransactionDatabase
 
 __all__ = ["son_mine", "count_candidates", "local_candidates"]
+
+#: parent database for fork-inherited workers; set by ProcessBackend right
+#: before it creates its fork-context pool and cleared right after.  Forked
+#: children see the parent's fully built packed bitmaps through
+#: copy-on-write pages instead of unpickling (or re-deriving) partitions.
+_FORK_DB: TransactionDatabase | None = None
 
 
 def local_candidates(
@@ -46,28 +52,44 @@ def local_candidates(
     return set(miner(part, min_support, max_len))
 
 
+def _forked_local_candidates(
+    start: int,
+    stop: int,
+    min_support: float,
+    max_len: int | None,
+    algorithm: str,
+) -> set[frozenset[int]]:
+    """Phase-1 worker for fork-based pools: partition by transaction range.
+
+    Runs in a forked child where :data:`_FORK_DB` is the parent's database
+    (inherited, not pickled).  The partition is a zero-copy
+    :meth:`~repro.core.transactions.TransactionDatabase.txn_range` view;
+    because SON partition bounds are 64-aligned, the view also inherits a
+    word-slice of the parent's packed bitmaps, so the child never rebuilds
+    a vertical representation.
+    """
+    if _FORK_DB is None:  # pragma: no cover - guards misuse outside the pool
+        raise RuntimeError("_forked_local_candidates called without _FORK_DB")
+    part = _FORK_DB.txn_range(start, stop)
+    return local_candidates(part, min_support, max_len, algorithm)
+
+
 def count_candidates(
     db: TransactionDatabase,
-    candidates: set[frozenset[int]],
-    vertical: np.ndarray | None = None,
+    candidates: Iterable[frozenset[int]],
+    bitmaps: PackedBitmaps | None = None,
 ) -> dict[frozenset[int], int]:
-    """Exact global support counts of *candidates* via vertical bitmaps.
+    """Exact global support counts of *candidates* via packed bitsets.
 
-    Pass a precomputed *vertical* occurrence matrix (``db.vertical()``)
-    to reuse one bitmap build across several counting passes — the engine
-    does this so phase-2 counting shares the memoised bitmap instead of
-    recomputing it per call.
+    Pass precomputed *bitmaps* (``db.bitmaps()``) to reuse one build
+    across several counting passes — the engine does this so phase-2
+    counting shares the memoised bitmaps instead of resolving them per
+    call.  Counting time lands in the ``bitmap-count`` kernel counter.
     """
-    if vertical is None:
-        vertical = db.vertical()
-    out: dict[frozenset[int], int] = {}
-    for itemset in candidates:
-        ids = sorted(itemset)
-        mask = vertical[ids[0]]
-        for i in ids[1:]:
-            mask = mask & vertical[i]
-        out[itemset] = int(mask.sum())
-    return out
+    if bitmaps is None:
+        bitmaps = db.bitmaps()
+    with kernel_timer("bitmap-count"):
+        return bitmaps.counts_for(candidates)
 
 
 def son_mine(

@@ -127,28 +127,31 @@ class RuleClassifier:
     def predict(self, db: TransactionDatabase) -> np.ndarray:
         """Vectorised prediction for every transaction of *db*.
 
-        Each decision rule is one AND over vertical occurrence vectors;
-        the classifier is the OR of its rules.
+        Each decision rule is one AND over packed occurrence bitsets;
+        the classifier is the OR of its rules, unpacked to booleans once
+        at the end.
         """
         n = len(db)
         out = np.zeros(n, dtype=bool)
         if not self.rules:
             return out
-        vertical = db.vertical()
+        bitmaps = db.bitmaps()
         n_items = db.n_items
+        acc = None
         for rule in self.rules:
             ids = sorted(rule.antecedent_ids)
             if any(i >= n_items for i in ids):
                 continue  # item never occurs in this database
-            mask = vertical[ids[0]].copy()
-            for i in ids[1:]:
-                mask &= vertical[i]
-            out |= mask
-        return out
+            mask = bitmaps.and_words(ids)
+            acc = mask if acc is None else acc | mask
+        if acc is None:
+            return out
+        return bitmaps.to_bool(acc)
 
     def labels(self, db: TransactionDatabase) -> np.ndarray:
         """Ground-truth labels: does the transaction contain the target?"""
         target_id = db.vocabulary.get_id(self.target)
         if target_id is None:
             return np.zeros(len(db), dtype=bool)
-        return db.vertical()[target_id].copy()
+        bitmaps = db.bitmaps()
+        return bitmaps.to_bool(bitmaps.row(target_id))

@@ -74,10 +74,10 @@ class TestSupport:
         with pytest.raises(KeyError):
             toy_db.support_count([999])
 
-    def test_vertical_matches_counts(self, toy_db):
-        vertical = toy_db.vertical()
+    def test_bitmaps_match_counts(self, toy_db):
+        bitmaps = toy_db.bitmaps()
         counts = toy_db.item_support_counts()
-        assert (vertical.sum(axis=1) == counts).all()
+        assert (bitmaps.item_counts() == counts).all()
 
 
 class TestProjections:

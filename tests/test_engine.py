@@ -200,7 +200,7 @@ class TestAnalyzePipeline:
         ]
         d = stats.as_dict()
         assert d["backend"] == "serial"
-        assert {"name", "seconds", "n_in", "n_out", "cache"} == set(
+        assert {"name", "seconds", "n_in", "n_out", "cache", "kernels"} == set(
             d["stages"][0]
         )
         assert stats.stage("mine").n_in == len(supercloud_table)

@@ -69,21 +69,21 @@ class TestPhases:
         for itemset, count in counts.items():
             assert count == toy_db.support_count(itemset)
 
-    def test_count_candidates_accepts_precomputed_vertical(self, toy_db):
+    def test_count_candidates_accepts_precomputed_bitmaps(self, toy_db):
         candidates = {frozenset({0}), frozenset({1, 2})}
-        vertical = toy_db.vertical()
-        assert count_candidates(toy_db, candidates, vertical=vertical) == (
+        bitmaps = toy_db.bitmaps()
+        assert count_candidates(toy_db, candidates, bitmaps=bitmaps) == (
             count_candidates(toy_db, candidates)
         )
 
-    def test_count_candidates_vertical_not_rebuilt(self, toy_db, monkeypatch):
-        vertical = toy_db.vertical()
+    def test_count_candidates_bitmaps_not_rebuilt(self, toy_db, monkeypatch):
+        bitmaps = toy_db.bitmaps()
         monkeypatch.setattr(
-            type(toy_db), "vertical",
-            lambda self: (_ for _ in ()).throw(AssertionError("rebuilt vertical")),
+            type(toy_db), "bitmaps",
+            lambda self: (_ for _ in ()).throw(AssertionError("rebuilt bitmaps")),
         )
-        counts = count_candidates(toy_db, {frozenset({0})}, vertical=vertical)
-        assert counts[frozenset({0})] == int(vertical[0].sum())
+        counts = count_candidates(toy_db, {frozenset({0})}, bitmaps=bitmaps)
+        assert counts[frozenset({0})] == bitmaps.support_count([0])
 
 
 class TestSonParallel:
