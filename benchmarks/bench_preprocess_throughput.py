@@ -1,0 +1,273 @@
+"""Preprocess-throughput benchmark: columnar ingest vs legacy paths.
+
+Times the columnar ingest kernels against their pre-columnar references
+on a synthetic PAI trace:
+
+* trace generation — batched archetype sampling
+  (:meth:`~repro.traces.synthetic.base.ArchetypeMixer.sample_columns`)
+  vs the object-per-job path;
+* preprocessing — integer-coded binning/encoding
+  (:meth:`~repro.preprocess.TracePreprocessor.run`) vs the per-row
+  string-label path (:meth:`~repro.preprocess.TracePreprocessor.run_legacy`);
+* the preprocess result cache — a second :meth:`run` on the same table
+  content returns the cached :class:`PreprocessResult`.
+
+Every comparison asserts *answer equality first*: on a fixed table the
+vectorised and legacy pipelines must produce byte-identical transaction
+databases (same CSR arrays, same vocabulary order, same fingerprint).
+The generation comparison is distributional — the columnar path draws
+the same archetype mixture from different RNG consumption — so equality
+is asserted per-path (vectorised vs legacy preprocess on *each* table),
+not across paths.  Results go to ``BENCH_preprocess.json``
+(machine-readable, repo root) and
+``benchmarks/output/preprocess_throughput.txt`` (human-readable).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_preprocess_throughput.py \
+        [--n-jobs 100000] [--repeats 2] [--min-speedup 3.0] [--check-only]
+
+``--check-only`` runs the equality assertions on small traces of all
+three clusters and skips artifact writing — the CI perf-smoke job
+(answers must match on every platform; speed is only asserted locally
+at full scale, or with ``--min-speedup 0`` on shared CI runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import write_artifact  # noqa: E402
+
+from repro.core.bitmap import kernel_delta, kernel_snapshot  # noqa: E402
+from repro.preprocess import clear_preprocess_cache  # noqa: E402
+from repro.traces import (  # noqa: E402
+    PAIConfig,
+    PhillyConfig,
+    SuperCloudConfig,
+    generate_pai,
+    generate_philly,
+    generate_supercloud,
+    pai_preprocessor,
+    philly_preprocessor,
+    supercloud_preprocessor,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_preprocess.json"
+
+INGEST_KERNELS = (
+    "ingest-generate",
+    "ingest-bin",
+    "ingest-encode",
+    "ingest-tiers",
+    "ingest-skew",
+)
+
+
+def _best_of(fn, repeats: int):
+    """(best wall seconds, last result) over *repeats* runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _assert_db_equal(a, b, context: str) -> None:
+    """Vectorised and legacy databases must be byte-identical."""
+    assert np.array_equal(a.indptr, b.indptr), f"{context}: indptr differs"
+    assert np.array_equal(a.indices, b.indices), f"{context}: indices differ"
+    assert [str(i) for i in a.vocabulary] == [
+        str(i) for i in b.vocabulary
+    ], f"{context}: vocabulary order differs"
+    assert a.fingerprint() == b.fingerprint(), f"{context}: fingerprint differs"
+
+
+def check_equality(n_jobs: int = 3000) -> None:
+    """run() == run_legacy() on all three traces (and the columnar table)."""
+    cases = [
+        (
+            "pai",
+            generate_pai(PAIConfig(n_jobs=n_jobs, use_scheduler=False)),
+            pai_preprocessor(),
+        ),
+        (
+            "pai-columnar",
+            generate_pai(
+                PAIConfig(n_jobs=n_jobs, use_scheduler=False, columnar=True)
+            ),
+            pai_preprocessor(),
+        ),
+        (
+            "supercloud",
+            generate_supercloud(
+                SuperCloudConfig(n_jobs=n_jobs, use_scheduler=False)
+            ),
+            supercloud_preprocessor(),
+        ),
+        (
+            "philly",
+            generate_philly(PhillyConfig(n_jobs=n_jobs, use_scheduler=False)),
+            philly_preprocessor(),
+        ),
+    ]
+    for name, table, pre in cases:
+        vec = pre.run(table, use_cache=False)
+        legacy = pre.run_legacy(table)
+        _assert_db_equal(vec.database, legacy.database, name)
+        assert vec.dropped_items == legacy.dropped_items, f"{name}: skew differs"
+        print(
+            f"{name:<14} vectorised == legacy "
+            f"({len(vec.database)} transactions, "
+            f"{len(vec.database.vocabulary)} items)"
+        )
+
+
+def run(n_jobs: int, repeats: int, min_speedup: float) -> dict:
+    pre = pai_preprocessor()
+
+    # -- answer equality first: a speedup over a wrong answer is worthless
+    check_equality(n_jobs=min(n_jobs, 3000))
+
+    # -- trace generation: object-per-job vs columnar blocks
+    obj_cfg = PAIConfig(n_jobs=n_jobs, use_scheduler=False)
+    col_cfg = PAIConfig(n_jobs=n_jobs, use_scheduler=False, columnar=True)
+    before = kernel_snapshot()  # the legacy paths record no ingest-* kernels
+    gen_legacy_sec, obj_table = _best_of(lambda: generate_pai(obj_cfg), repeats)
+    gen_kernel_sec, col_table = _best_of(lambda: generate_pai(col_cfg), repeats)
+
+    # -- preprocessing: int-coded vectorised vs per-row string labels,
+    # each on its own table; equality per table asserted above
+    clear_preprocess_cache()
+    pre_legacy_sec, legacy_result = _best_of(
+        lambda: pre.run_legacy(obj_table), repeats
+    )
+    pre_kernel_sec, vec_result = _best_of(
+        lambda: pre.run(col_table, use_cache=False), repeats
+    )
+    kernels = {
+        name: {"seconds": seconds, "calls": calls}
+        for name, seconds, calls in kernel_delta(before, kernel_snapshot())
+    }
+    _assert_db_equal(
+        vec_result.database,
+        pre.run_legacy(col_table).database,
+        "pai-columnar-full",
+    )
+
+    # -- preprocess result cache: same content → cached result
+    clear_preprocess_cache()
+    pre.run(col_table)  # prime
+    hit_sec, hit_result = _best_of(lambda: pre.run(col_table), repeats)
+    assert hit_result is not None
+    assert (
+        hit_result.database.fingerprint() == vec_result.database.fingerprint()
+    ), "cache returned a different database"
+
+    legacy_total = gen_legacy_sec + pre_legacy_sec
+    kernel_total = gen_kernel_sec + pre_kernel_sec
+    speedups = {
+        "generate": gen_legacy_sec / gen_kernel_sec if gen_kernel_sec else float("inf"),
+        "preprocess": pre_legacy_sec / pre_kernel_sec if pre_kernel_sec else float("inf"),
+        "end_to_end": legacy_total / kernel_total if kernel_total else float("inf"),
+    }
+    if min_speedup > 0:
+        assert speedups["end_to_end"] >= min_speedup, (
+            f"end-to-end speedup {speedups['end_to_end']:.2f}x "
+            f"below the {min_speedup:.1f}x floor"
+        )
+
+    payload = {
+        "trace": "pai",
+        "n_jobs": n_jobs,
+        "n_transactions": len(vec_result.database),
+        "n_items": len(vec_result.database.vocabulary),
+        "repeats": repeats,
+        "answers_equal": True,
+        "stages_seconds": {
+            "generate-kernel": gen_kernel_sec,
+            "generate-legacy": gen_legacy_sec,
+            "preprocess-kernel": pre_kernel_sec,
+            "preprocess-legacy": pre_legacy_sec,
+            "preprocess-cached-hit": hit_sec,
+        },
+        "ingest_kernels": kernels,
+        "jobs_per_s": {
+            "kernel": n_jobs / kernel_total if kernel_total else float("inf"),
+            "legacy": n_jobs / legacy_total if legacy_total else float("inf"),
+        },
+        "speedup": speedups,
+    }
+
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    lines = [
+        "Preprocess throughput — columnar ingest vs legacy paths",
+        f"PAI trace, {n_jobs} jobs ({len(vec_result.database)} transactions), "
+        f"best of {repeats}",
+        "",
+        f"{'stage':<22} {'kernel':>10} {'legacy':>10} {'speedup':>9}",
+        f"{'generate':<22} {gen_kernel_sec:>9.3f}s {gen_legacy_sec:>9.3f}s "
+        f"{speedups['generate']:>8.2f}x",
+        f"{'preprocess':<22} {pre_kernel_sec:>9.3f}s {pre_legacy_sec:>9.3f}s "
+        f"{speedups['preprocess']:>8.2f}x",
+        f"{'end-to-end':<22} {kernel_total:>9.3f}s {legacy_total:>9.3f}s "
+        f"{speedups['end_to_end']:>8.2f}x",
+        f"{'cached re-run':<22} {hit_sec:>9.6f}s",
+        "",
+        "ingest kernel breakdown (vectorised path):",
+    ]
+    for name in INGEST_KERNELS:
+        if name in kernels:
+            k = kernels[name]
+            lines.append(
+                f"  {name:<20} {k['seconds']:>9.3f}s  ({k['calls']} calls)"
+            )
+    lines += [
+        "",
+        f"jobs/s end-to-end: kernel {payload['jobs_per_s']['kernel']:,.0f}"
+        f" / legacy {payload['jobs_per_s']['legacy']:,.0f}",
+        "all vectorised/legacy databases identical (CSR, vocabulary, fingerprint)",
+    ]
+    text = "\n".join(lines)
+    write_artifact("preprocess_throughput.txt", text)
+    print(text)
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n-jobs", type=int, default=100_000)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail unless end-to-end speedup reaches this floor (0 disables)",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="assert vectorised/legacy answer equality only; write no artifacts",
+    )
+    args = parser.parse_args(argv)
+    if args.check_only:
+        check_equality()
+        print("check-only: vectorised and legacy answers identical on all traces")
+    else:
+        run(args.n_jobs, args.repeats, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

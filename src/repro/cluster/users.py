@@ -64,11 +64,20 @@ class UserPopulation:
     def __len__(self) -> int:
         return len(self.users)
 
+    def sample_indices(
+        self, n: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw *n* user indices (with replacement) proportionally to weight.
+
+        The columnar generators keep these as integer codes into
+        ``self.users`` instead of materialising profile objects.
+        """
+        r = rng if rng is not None else self._rng
+        return r.choice(len(self.users), size=n, p=self._weights)
+
     def sample(self, n: int, rng: np.random.Generator | None = None) -> list[UserProfile]:
         """Draw *n* users (with replacement) proportionally to weight."""
-        r = rng if rng is not None else self._rng
-        idx = r.choice(len(self.users), size=n, p=self._weights)
-        return [self.users[i] for i in idx]
+        return [self.users[i] for i in self.sample_indices(n, rng)]
 
     def new_users(self) -> list[UserProfile]:
         return [u for u in self.users if u.is_new]

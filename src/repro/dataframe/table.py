@@ -13,6 +13,7 @@ views not copies).
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
 from typing import Any, Callable
 
@@ -225,3 +226,28 @@ class ColumnTable:
     def copy(self) -> "ColumnTable":
         """Shallow copy (columns are shared; they are treated as immutable)."""
         return ColumnTable(dict(self._columns))
+
+    def fingerprint(self) -> str:
+        """Content digest over column names, types and values.
+
+        Two tables with identical schema and cell contents share a
+        fingerprint regardless of how they were built — the key the
+        preprocess result cache uses, mirroring
+        :meth:`TransactionDatabase.fingerprint` on the mining side.
+        Computed fresh on every call (tables are mutable via
+        ``add_column``), so callers should hash once per lookup.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(str(len(self)).encode("utf-8"))
+        for name, col in self._columns.items():
+            h.update(name.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(col.kind.encode("utf-8"))
+            if isinstance(col, CategoricalColumn):
+                h.update(np.ascontiguousarray(col.codes).tobytes())
+                for cat in col.categories:
+                    h.update(cat.encode("utf-8"))
+                    h.update(b"\x1f")
+            else:
+                h.update(np.ascontiguousarray(col.values).tobytes())
+        return h.hexdigest()

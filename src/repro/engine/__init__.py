@@ -25,7 +25,7 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .cache import CacheStats, ItemsetCache
+from .cache import CacheStats, ItemsetCache, LRUCache
 from .engine import MiningEngine, default_engine, set_default_engine
 from .stats import EngineStats, LatencyHistogram, StageStats
 
@@ -44,6 +44,7 @@ __all__ = [
     "AUTO_THREADED_THRESHOLD",
     "AUTO_PROCESS_THRESHOLD",
     "ItemsetCache",
+    "LRUCache",
     "CacheStats",
     "EngineStats",
     "StageStats",

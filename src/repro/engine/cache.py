@@ -1,4 +1,4 @@
-"""Content-addressed itemset cache.
+"""Content-addressed result caches.
 
 Mining the same database at the same ``(min_support, max_len, algorithm)``
 always yields the same :class:`~repro.core.itemsets.FrequentItemsets`, so
@@ -9,8 +9,12 @@ re-generated or re-loaded trace with identical transactions still hits —
 which is exactly what multi-keyword case studies, support sweeps and
 repeated benchmark runs do.
 
-The cache is LRU-bounded and thread-safe; hit/miss/eviction counters feed
-the engine's :class:`~repro.engine.stats.EngineStats`.
+:class:`LRUCache` is the generic mechanism (LRU-bounded, thread-safe,
+hit/miss/eviction counters); :class:`ItemsetCache` specialises it for the
+mining stage, and the preprocess result cache in
+:mod:`repro.preprocess.pipeline` reuses the same machinery keyed by table
+fingerprint × pipeline spec.  Counters feed the engine's
+:class:`~repro.engine.stats.EngineStats`.
 """
 
 from __future__ import annotations
@@ -18,10 +22,9 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from threading import Lock
+from typing import Any
 
-from ..core.itemsets import FrequentItemsets
-
-__all__ = ["CacheStats", "ItemsetCache"]
+__all__ = ["CacheStats", "LRUCache", "ItemsetCache"]
 
 #: default number of cached mining results; itemset dicts are small
 #: relative to the databases they summarise, so a few dozen is cheap
@@ -54,8 +57,8 @@ class CacheStats:
         }
 
 
-class ItemsetCache:
-    """LRU mapping ``(db fingerprint, config key) → FrequentItemsets``."""
+class LRUCache:
+    """Thread-safe, LRU-bounded mapping of hashable key → result."""
 
     __slots__ = ("max_entries", "_entries", "_lock", "_hits", "_misses", "_evictions")
 
@@ -63,7 +66,7 @@ class ItemsetCache:
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple, FrequentItemsets] = OrderedDict()
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
         self._lock = Lock()
         self._hits = 0
         self._misses = 0
@@ -75,7 +78,7 @@ class ItemsetCache:
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
-    def get(self, key: tuple) -> FrequentItemsets | None:
+    def get(self, key: tuple) -> Any | None:
         """Look up *key*, counting a hit or miss and touching LRU order."""
         with self._lock:
             entry = self._entries.get(key)
@@ -86,7 +89,7 @@ class ItemsetCache:
             self._hits += 1
             return entry
 
-    def put(self, key: tuple, value: FrequentItemsets) -> None:
+    def put(self, key: tuple, value: Any) -> None:
         """Insert *value*, evicting the least-recently-used beyond bounds."""
         with self._lock:
             self._entries[key] = value
@@ -109,3 +112,14 @@ class ItemsetCache:
                 size=len(self._entries),
                 max_entries=self.max_entries,
             )
+
+
+class ItemsetCache(LRUCache):
+    """LRU mapping ``(db fingerprint, config key) → FrequentItemsets``.
+
+    The mining-stage specialisation of :class:`LRUCache`; itemset dicts
+    are small relative to the databases they summarise, so a few dozen
+    entries is cheap.
+    """
+
+    __slots__ = ()

@@ -159,10 +159,25 @@ class MiningEngine:
 
         stats = EngineStats(backend=self.backend.name)
 
+        # the preprocess result cache follows the engine's cache switch:
+        # --no-cache disables both layers
+        before = kernel_snapshot()
         with StageTimer() as t:
-            preprocess = preprocessor.run(table)
+            preprocess, pre_status = preprocessor.run_with_status(
+                table, use_cache=self.cache is not None
+            )
+        pre_kernels = kernel_delta(before, kernel_snapshot())
         db = preprocess.database
-        stats.add(StageStats("preprocess", t.seconds, len(table), len(db)))
+        stats.add(
+            StageStats(
+                "preprocess",
+                t.seconds,
+                len(table),
+                len(db),
+                pre_status,
+                kernels=pre_kernels,
+            )
+        )
 
         before = kernel_snapshot()
         with StageTimer() as t:

@@ -13,7 +13,14 @@ from .aggregation import (
 )
 from .binning import BinningSpec, Discretizer, equal_frequency_edges, equal_width_edges
 from .encoding import FeatureSpec, TransactionEncoder
-from .pipeline import GroupingSpec, PreprocessResult, TierSpec, TracePreprocessor
+from .pipeline import (
+    GroupingSpec,
+    PreprocessResult,
+    TierSpec,
+    TracePreprocessor,
+    clear_preprocess_cache,
+    preprocess_cache_stats,
+)
 from .skew import drop_skewed_items, skewed_item_ids
 
 __all__ = [
@@ -34,4 +41,6 @@ __all__ = [
     "GroupingSpec",
     "PreprocessResult",
     "TracePreprocessor",
+    "preprocess_cache_stats",
+    "clear_preprocess_cache",
 ]

@@ -80,11 +80,16 @@ def equal_width_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
 class Discretizer:
     """Fitted discretiser for one feature: values → bin labels.
 
-    ``fit`` learns the special values and edges; ``transform`` maps a
-    value array to labels (``None`` for NaN).  The fitted state is
-    inspectable (``edges``, ``std_value``, ``bin_ranges()``) so a system
-    operator can translate "Runtime = Bin1" back into seconds — the
-    interpretability contract of the paper.
+    ``fit`` learns the special values and edges; ``transform_codes`` maps
+    a value array to a small-integer code array (``-1`` for NaN) indexing
+    into :meth:`code_labels` — the columnar hot path the encoder consumes
+    with a single gather per feature.  ``transform`` decodes the same
+    codes into the legacy ``list[str | None]`` labels, and
+    ``transform_rowwise`` keeps the original per-row loop as the
+    equivalence oracle.  The fitted state is inspectable (``edges``,
+    ``std_value``, ``bin_ranges()``) so a system operator can translate
+    "Runtime = Bin1" back into seconds — the interpretability contract of
+    the paper.
     """
 
     def __init__(self, spec: BinningSpec = BinningSpec()):
@@ -93,6 +98,7 @@ class Discretizer:
         self.std_value: float | None = None
         self._fit_min: float | None = None
         self._fit_max: float | None = None
+        self._code_labels: list[str] | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -135,21 +141,72 @@ class Discretizer:
         else:
             edges = equal_width_edges(remaining, spec.n_bins)
         self.edges = edges
+        labels = [f"Bin{k + 1}" for k in range(len(edges) + 1)]
+        if spec.zero_label is not None:
+            labels.append(spec.zero_label)
+        if self.std_value is not None and spec.std_label is not None:
+            labels.append(spec.std_label)
+        self._code_labels = labels
         return self
+
+    def code_labels(self) -> list[str]:
+        """Label table indexed by the codes of :meth:`transform_codes`.
+
+        Regular bins occupy codes ``0 .. n_regular_bins()-1``; the zero
+        and Std specials (when active) are reserved at the tail, and
+        ``-1`` marks missing.
+        """
+        if self._code_labels is None:
+            raise RuntimeError("Discretizer not fitted")
+        return self._code_labels
+
+    def transform_codes(self, values: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Map values to integer bin codes (``-1`` for NaN) — the hot path.
+
+        Overlays are applied in ascending precedence so the special bins
+        always win: raw ``searchsorted`` bins, then the fit-minimum clamp
+        (the minimum belongs to Bin1 even when heavy ties collapse low
+        quantile edges onto it and ``searchsorted`` lands it past them),
+        then the Std bin, then the zero bin — an exact zero gets the zero
+        label even when it is also the fitted minimum or the Std value —
+        and finally NaN → ``-1``.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("Discretizer.transform_codes called before fit")
+        arr = np.asarray(values, dtype=np.float64)
+        spec = self.spec
+        labels = self.code_labels()
+        dtype = np.int8 if len(labels) <= np.iinfo(np.int8).max else np.int16
+        # right=True ⇒ value == edge goes to the *upper* bin, matching the
+        # paper's half-open [lower, upper) intervals with max included
+        codes = np.searchsorted(self.edges, arr, side="right").astype(dtype)
+        if self._fit_min is not None:
+            codes[arr == self._fit_min] = 0
+        n_regular = len(self.edges) + 1
+        if self.std_value is not None and spec.std_label is not None:
+            codes[arr == self.std_value] = labels.index(spec.std_label)
+        if spec.zero_label is not None:
+            codes[arr == 0.0] = n_regular  # zero is always the first special
+        codes[np.isnan(arr)] = -1
+        return codes
 
     def transform(self, values: Sequence[float] | np.ndarray) -> list[str | None]:
         """Map values to labels: zero/std specials, then "Bin1".."BinK"."""
+        codes = self.transform_codes(values)
+        lut = np.asarray([*self.code_labels(), None], dtype=object)
+        return list(lut[codes])  # code -1 indexes the trailing None
+
+    def transform_rowwise(
+        self, values: Sequence[float] | np.ndarray
+    ) -> list[str | None]:
+        """The original per-row labelling loop, kept as the oracle for
+        equivalence tests and the legacy encoder path."""
         if not self.is_fitted:
-            raise RuntimeError("Discretizer.transform called before fit")
+            raise RuntimeError("Discretizer.transform_rowwise called before fit")
         arr = np.asarray(values, dtype=np.float64)
         spec = self.spec
-        # right=True ⇒ value == edge goes to the *upper* bin, matching the
-        # paper's half-open [lower, upper) intervals with max included
         bin_idx = np.searchsorted(self.edges, arr, side="right")
         if self._fit_min is not None:
-            # heavy ties at the minimum can collapse low quantile edges onto
-            # it; the minimum always belongs to Bin1, never to a phantom
-            # upper bin sitting past the collapsed edges
             bin_idx[arr == self._fit_min] = 0
         labels: list[str | None] = []
         for value, idx in zip(arr, bin_idx):

@@ -19,6 +19,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..core.bitmap import kernel_timer
 from ..core.items import Item, ItemVocabulary
 from ..core.transactions import TransactionDatabase
 from ..dataframe import (
@@ -109,9 +110,10 @@ class TransactionEncoder:
             if kind == "numeric":
                 if not isinstance(column, NumericColumn):
                     raise TypeError(f"column {spec.column!r} is not numeric")
-                self.discretizers[spec.column] = Discretizer(spec.binning).fit(
-                    column.values
-                )
+                with kernel_timer("ingest-bin"):
+                    self.discretizers[spec.column] = Discretizer(spec.binning).fit(
+                        column.values
+                    )
             self._resolved.append((spec, kind))
         self._fitted = True
         return self
@@ -126,34 +128,77 @@ class TransactionEncoder:
 
         Missing values simply contribute no item — a job with no GPU
         telemetry still forms a transaction from its scheduler features.
+
+        Continuous features go through the integer-coded fast path: the
+        discretiser emits a bin-code array, codes map to vocab ids with
+        one gather per feature, and the CSR arrays are written directly —
+        no per-row Python.  Item interning order (and hence the database
+        fingerprint) is identical to :meth:`transform_legacy`.
         """
         if not self._fitted:
             raise RuntimeError("TransactionEncoder.transform called before fit")
         vocab = vocabulary if vocabulary is not None else ItemVocabulary()
         n_rows = len(table)
-        id_columns: list[np.ndarray] = []
+        with kernel_timer("ingest-encode"):
+            id_columns = [
+                self._encode_feature(spec, kind, table, vocab, n_rows)
+                for spec, kind in self._resolved
+            ]
+            return self._assemble(id_columns, n_rows, vocab)
 
-        for spec, kind in self._resolved:
-            column = table[spec.column]
-            feature = spec.feature_name
-            ids = np.full(n_rows, _ABSENT, dtype=np.int32)
-            if kind in ("categorical", "label"):
-                if not isinstance(column, CategoricalColumn):
-                    raise TypeError(f"column {spec.column!r} is not categorical")
-                if kind == "categorical":
-                    items = [Item(feature, cat) for cat in column.categories]
-                else:
-                    items = [Item.flag(cat) for cat in column.categories]
-                code_to_id = np.asarray(
-                    [vocab.intern(item) for item in items], dtype=np.int32
-                )
-                present = column.codes >= 0
-                if code_to_id.size:
-                    ids[present] = code_to_id[column.codes[present]]
-            elif kind == "numeric":
-                if not isinstance(column, NumericColumn):
-                    raise TypeError(f"column {spec.column!r} is not numeric")
-                labels = self.discretizers[spec.column].transform(column.values)
+    def transform_legacy(
+        self,
+        table: ColumnTable,
+        vocabulary: ItemVocabulary | None = None,
+    ) -> TransactionDatabase:
+        """The pre-columnar encode path (per-row numeric labelling).
+
+        Kept as the oracle for equivalence tests and benchmarks: the
+        output must be byte-identical to :meth:`transform` — same indptr,
+        indices, vocabulary order and fingerprint.
+        """
+        if not self._fitted:
+            raise RuntimeError("TransactionEncoder.transform_legacy called before fit")
+        vocab = vocabulary if vocabulary is not None else ItemVocabulary()
+        n_rows = len(table)
+        id_columns = [
+            self._encode_feature(spec, kind, table, vocab, n_rows, numeric_rowwise=True)
+            for spec, kind in self._resolved
+        ]
+        return self._assemble(id_columns, n_rows, vocab)
+
+    def _encode_feature(
+        self,
+        spec: FeatureSpec,
+        kind: str,
+        table: ColumnTable,
+        vocab: ItemVocabulary,
+        n_rows: int,
+        numeric_rowwise: bool = False,
+    ) -> np.ndarray:
+        """Per-row item ids (``_ABSENT`` for none) contributed by one spec."""
+        column = table[spec.column]
+        feature = spec.feature_name
+        ids = np.full(n_rows, _ABSENT, dtype=np.int32)
+        if kind in ("categorical", "label"):
+            if not isinstance(column, CategoricalColumn):
+                raise TypeError(f"column {spec.column!r} is not categorical")
+            if kind == "categorical":
+                items = [Item(feature, cat) for cat in column.categories]
+            else:
+                items = [Item.flag(cat) for cat in column.categories]
+            code_to_id = np.asarray(
+                [vocab.intern(item) for item in items], dtype=np.int32
+            )
+            present = column.codes >= 0
+            if code_to_id.size:
+                ids[present] = code_to_id[column.codes[present]]
+        elif kind == "numeric":
+            if not isinstance(column, NumericColumn):
+                raise TypeError(f"column {spec.column!r} is not numeric")
+            disc = self.discretizers[spec.column]
+            if numeric_rowwise:
+                labels = disc.transform_rowwise(column.values)
                 label_ids = {
                     label: vocab.intern(Item(feature, label))
                     for label in sorted({l for l in labels if l is not None})
@@ -161,27 +206,45 @@ class TransactionEncoder:
                 for row, label in enumerate(labels):
                     if label is not None:
                         ids[row] = label_ids[label]
-            elif kind == "flag":
-                if isinstance(column, BooleanColumn):
-                    truth = column.values
-                elif isinstance(column, NumericColumn):
-                    truth = (column.values == 1.0) & ~np.isnan(column.values)
-                else:
-                    raise TypeError(f"column {spec.column!r} cannot be a flag")
-                label = spec.true_label if spec.true_label is not None else feature
-                item_id = vocab.intern(Item.flag(label))
-                ids[truth] = item_id
-            else:  # pragma: no cover
-                raise AssertionError(kind)
-            id_columns.append(ids)
+            else:
+                codes = disc.transform_codes(column.values)
+                code_labels = disc.code_labels()
+                present_codes = np.unique(codes)
+                present_codes = present_codes[present_codes >= 0]
+                # intern in sorted-label order over the codes *present* in
+                # the data — the exact vocabulary order of the legacy path
+                code_to_id = np.full(len(code_labels), _ABSENT, dtype=np.int32)
+                for code in sorted(
+                    present_codes.tolist(), key=lambda c: code_labels[c]
+                ):
+                    code_to_id[code] = vocab.intern(Item(feature, code_labels[code]))
+                present = codes >= 0
+                ids[present] = code_to_id[codes[present]]
+        elif kind == "flag":
+            if isinstance(column, BooleanColumn):
+                truth = column.values
+            elif isinstance(column, NumericColumn):
+                truth = (column.values == 1.0) & ~np.isnan(column.values)
+            else:
+                raise TypeError(f"column {spec.column!r} cannot be a flag")
+            label = spec.true_label if spec.true_label is not None else feature
+            item_id = vocab.intern(Item.flag(label))
+            ids[truth] = item_id
+        else:  # pragma: no cover
+            raise AssertionError(kind)
+        return ids
 
+    @staticmethod
+    def _assemble(
+        id_columns: list[np.ndarray], n_rows: int, vocab: ItemVocabulary
+    ) -> TransactionDatabase:
+        """Stack per-feature id columns into a row-sorted CSR database."""
         if not id_columns:
             return TransactionDatabase(
                 vocab,
                 np.zeros(n_rows + 1, dtype=np.int64),
                 np.asarray([], dtype=np.int32),
             )
-
         # rows × features id matrix → CSR with per-row sorted ids
         matrix = np.stack(id_columns, axis=1)
         present = matrix != _ABSENT

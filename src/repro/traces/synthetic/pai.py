@@ -49,7 +49,8 @@ from ...cluster import (
     UserPopulation,
     UserProfile,
 )
-from ...dataframe import ColumnTable
+from ...core.bitmap import kernel_timer
+from ...dataframe import BooleanColumn, ColumnTable, NumericColumn
 from ...preprocess import (
     BinningSpec,
     FeatureSpec,
@@ -60,11 +61,16 @@ from ...preprocess import (
 from .base import (
     Archetype,
     ArchetypeMixer,
+    BatchContext,
+    CatBlock,
     calibrated_duration,
     categorical_choice,
+    categorical_codes,
     lognormal_runtime,
+    lognormal_runtime_batch,
     poisson_arrivals,
     status_choice,
+    status_codes,
 )
 
 __all__ = ["PAIConfig", "generate_pai", "pai_preprocessor", "PAI_KEYWORDS"]
@@ -95,10 +101,19 @@ class PAIConfig:
     #: target utilisation of the *binding* (non-T4) GPU pools
     congestion: float = 0.92
     use_scheduler: bool = True
+    #: draw the trace as numpy column blocks instead of per-job objects —
+    #: the ingest fast path; requires ``use_scheduler=False`` (the
+    #: object-per-job path stays the oracle for the simulator)
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if self.columnar and self.use_scheduler:
+            raise ValueError(
+                "columnar generation bypasses the scheduler; "
+                "use PAIConfig(columnar=True, use_scheduler=False)"
+            )
 
 
 def _pai_cluster() -> ClusterSpec:
@@ -311,14 +326,189 @@ def _distributed_flaky(rng: np.random.Generator, user: UserProfile, job_id: int)
     )
 
 
+# --------------------------------------------------------------------------
+# batched (columnar) archetype samplers — numpy twins of the per-job
+# samplers above, drawing each archetype's whole row block at once; the
+# per-job samplers remain the oracle for the scheduler/simulator path
+# --------------------------------------------------------------------------
+
+def _group_block(
+    rng: np.random.Generator, n: int, lo: int, hi: int
+) -> CatBlock:
+    """Uniform group draw over ``group{lo:03d}..group{hi-1:03d}``."""
+    codes = (rng.integers(lo, hi, size=n) - lo).astype(np.int32)
+    return CatBlock(codes, [f"group{i:03d}" for i in range(lo, hi)])
+
+
+def _debug_template_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    return {
+        "runtime": lognormal_runtime_batch(rng, n, median_s=120.0, sigma=0.8, max_s=3600),
+        "n_gpus": np.where(rng.random(n) < 0.75, 1.0, 2.0),
+        "cpu_request": np.full(n, STD_CPU_REQUEST),
+        "mem_request": np.full(n, STD_MEM_REQUEST),
+        "gpu_type_req": CatBlock.full(n, "None"),
+        "framework": CatBlock.full(n, "Tensorflow"),
+        "model_name": CatBlock.full(n, None),
+        "status": status_codes(rng, n, p_failed=0.30),
+        "group": _group_block(rng, n, 0, 12),
+        "mem_used_gb": rng.uniform(0.2, 2.0, n),
+        "gmem_used_gb": rng.uniform(0.0, 0.4, n),
+        "sm_util": np.zeros(n),
+        "cpu_util": rng.uniform(1.0, 8.0, n),
+        "multi_task": np.zeros(n, dtype=bool),
+    }
+
+
+def _bulk_failer_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    return {
+        "user": CatBlock.full(n, "user0000"),  # the single dominant submitter
+        "runtime": lognormal_runtime_batch(rng, n, median_s=60.0, sigma=0.5, max_s=900),
+        "n_gpus": np.where(rng.random(n) < 0.7, 1.0, 2.0),
+        "cpu_request": rng.integers(20, 80, size=n).astype(np.float64),
+        "mem_request": np.full(n, STD_MEM_REQUEST),
+        "gpu_type_req": CatBlock.full(n, "None"),
+        "framework": CatBlock.full(n, "Tensorflow"),
+        "model_name": CatBlock.full(n, None),
+        "status": status_codes(rng, n, p_failed=0.95),
+        "group": CatBlock.full(n, "group000"),
+        "mem_used_gb": rng.uniform(0.1, 1.0, n),
+        "gmem_used_gb": np.zeros(n),  # exact 0 GB: fails before load
+        "sm_util": np.zeros(n),
+        "cpu_util": rng.uniform(1.0, 6.0, n),
+        "multi_task": np.zeros(n, dtype=bool),
+    }
+
+
+def _production_train_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    return {
+        "runtime": lognormal_runtime_batch(rng, n, median_s=4200.0, sigma=1.1, max_s=1e5),
+        "n_gpus": np.asarray([8.0, 16.0, 32.0])[
+            rng.choice(3, size=n, p=[0.5, 0.3, 0.2])
+        ],
+        "cpu_request": rng.integers(100, 1200, size=n).astype(np.float64),
+        "mem_request": rng.uniform(32, 256, n),
+        "gpu_type_req": categorical_codes(rng, n, {"V100": 0.55, "P100": 0.45}),
+        "framework": categorical_codes(
+            rng, n, {"Tensorflow": 0.45, "PyTorch": 0.45, "Other Framework": 0.10}
+        ),
+        "model_name": categorical_codes(
+            rng,
+            n,
+            {None: 0.62, "resnet": 0.14, "vgg": 0.09, "inception": 0.07, "bert": 0.08},
+        ),
+        "status": status_codes(rng, n, p_failed=0.08),
+        "group": _group_block(rng, n, 12, 150),
+        "mem_used_gb": rng.uniform(8, 120, n),
+        "gmem_used_gb": rng.uniform(4, 28, n),
+        "sm_util": np.round(rng.uniform(35, 90, n)),
+        "cpu_util": rng.uniform(25, 80, n),
+        "multi_task": rng.random(n) < 0.3,
+    }
+
+
+def _recsys_serving_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    return {
+        "runtime": lognormal_runtime_batch(rng, n, median_s=1800.0, sigma=0.9, max_s=4e4),
+        "n_gpus": np.asarray([2.0, 4.0, 8.0])[
+            rng.choice(3, size=n, p=[0.5, 0.35, 0.15])
+        ],
+        "cpu_request": rng.integers(100, 600, size=n).astype(np.float64),
+        "mem_request": rng.uniform(16, 64, n),
+        "gpu_type_req": categorical_codes(rng, n, {"T4": 0.9, "V100": 0.1}),
+        "framework": categorical_codes(rng, n, {"Tensorflow": 0.7, "PyTorch": 0.3}),
+        "model_name": categorical_codes(rng, n, {"ctr": 0.5, "din": 0.3, "dien": 0.2}),
+        "status": status_codes(rng, n, p_failed=0.06),
+        "group": _group_block(rng, n, 12, 150),
+        "mem_used_gb": rng.uniform(4, 48, n),
+        "gmem_used_gb": rng.uniform(2, 12, n),
+        "sm_util": np.round(rng.uniform(8, 35, n)),
+        "cpu_util": rng.uniform(20, 60, n),
+        "multi_task": rng.random(n) < 0.92,
+    }
+
+
+def _nlp_train_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    return {
+        "runtime": lognormal_runtime_batch(rng, n, median_s=9000.0, sigma=1.0, max_s=2e5),
+        "n_gpus": np.asarray([8.0, 16.0, 32.0])[
+            rng.choice(3, size=n, p=[0.4, 0.35, 0.25])
+        ],
+        "cpu_request": rng.integers(50, 250, size=n).astype(np.float64),
+        "mem_request": rng.uniform(32, 128, n),
+        "gpu_type_req": categorical_codes(rng, n, {"V100": 0.8, "P100": 0.2}),
+        "framework": categorical_codes(rng, n, {"Tensorflow": 0.5, "PyTorch": 0.5}),
+        "model_name": categorical_codes(
+            rng, n, {"bert": 0.5, "nmt": 0.25, "xlnet": 0.25}
+        ),
+        "status": status_codes(rng, n, p_failed=0.10),
+        "group": _group_block(rng, n, 12, 150),
+        "mem_used_gb": rng.uniform(8, 64, n),
+        "gmem_used_gb": rng.uniform(12, 31, n),
+        "sm_util": np.round(rng.uniform(88, 100, n)),  # SM Util = Bin4
+        "cpu_util": rng.uniform(1, 10, n),  # CPU Util = Bin1
+        "multi_task": rng.random(n) < 0.3,
+    }
+
+
+def _distributed_flaky_batch(rng: np.random.Generator, ctx: BatchContext) -> dict:
+    n = ctx.n
+    failed = rng.random(n) < 0.80
+    idle = failed | (rng.random(n) < 0.5)
+    gpu_type = categorical_codes(rng, n, {"V100": 0.5, "P100": 0.3, None: 0.2})
+    # unspecified requests render as the explicit "None" label in the table
+    req_categories = [*gpu_type.categories, "None"]
+    req_codes = np.where(
+        gpu_type.codes >= 0, gpu_type.codes, np.int32(len(gpu_type.categories))
+    ).astype(np.int32)
+    status = CatBlock(
+        failed.astype(np.int32), ["completed", "failed"]
+    )
+    return {
+        "runtime": lognormal_runtime_batch(rng, n, median_s=600.0, sigma=0.9, max_s=2e4),
+        "n_gpus": rng.integers(25, 100, size=n).astype(np.float64),
+        "cpu_request": rng.integers(100, 900, size=n).astype(np.float64),
+        "mem_request": rng.uniform(32, 128, n),
+        "gpu_type_req": CatBlock(req_codes, req_categories),
+        "framework": categorical_codes(rng, n, {"Tensorflow": 0.6, "PyTorch": 0.4}),
+        "model_name": CatBlock.full(n, None),
+        "status": status,
+        "group": _group_block(rng, n, 12, 150),
+        "mem_used_gb": rng.uniform(0.5, 8.0, n),
+        "gmem_used_gb": np.where(idle, 0.0, rng.uniform(4, 24, n)),
+        "sm_util": np.where(idle, 0.0, np.round(rng.uniform(20, 60, n))),
+        "cpu_util": rng.uniform(2, 20, n),
+        "multi_task": np.zeros(n, dtype=bool),
+    }
+
+
 def _pai_archetypes() -> list[Archetype]:
     return [
-        Archetype("debug_template", 0.30, _debug_template, new_user_multiplier=1.3),
-        Archetype("bulk_failer", 0.12, _bulk_failer, new_user_multiplier=0.1),
-        Archetype("production_train", 0.33, _production_train),
-        Archetype("recsys_serving", 0.10, _recsys_serving),
-        Archetype("nlp_train", 0.07, _nlp_train),
-        Archetype("distributed_flaky", 0.08, _distributed_flaky),
+        Archetype(
+            "debug_template", 0.30, _debug_template,
+            new_user_multiplier=1.3, batch_sampler=_debug_template_batch,
+        ),
+        Archetype(
+            "bulk_failer", 0.12, _bulk_failer,
+            new_user_multiplier=0.1, batch_sampler=_bulk_failer_batch,
+        ),
+        Archetype(
+            "production_train", 0.33, _production_train,
+            batch_sampler=_production_train_batch,
+        ),
+        Archetype(
+            "recsys_serving", 0.10, _recsys_serving,
+            batch_sampler=_recsys_serving_batch,
+        ),
+        Archetype("nlp_train", 0.07, _nlp_train, batch_sampler=_nlp_train_batch),
+        Archetype(
+            "distributed_flaky", 0.08, _distributed_flaky,
+            batch_sampler=_distributed_flaky_batch,
+        ),
     ]
 
 
@@ -328,6 +518,8 @@ def _pai_archetypes() -> list[Archetype]:
 
 def generate_pai(config: PAIConfig = PAIConfig()) -> ColumnTable:
     """Generate a merged PAI job table (one row per job/task)."""
+    if config.columnar:
+        return _generate_pai_columnar(config)
     users = UserPopulation(
         config.n_users, new_user_fraction=0.12, seed=config.seed, name_prefix="user"
     )
@@ -368,6 +560,30 @@ def generate_pai(config: PAIConfig = PAIConfig()) -> ColumnTable:
         # emerging from the discrete-event scheduler
         table = _direct_table(jobs, telemetry_config, rng)
     return _finalize_pai_table(table)
+
+
+def _generate_pai_columnar(config: PAIConfig) -> ColumnTable:
+    """Columnar fast path: the whole trace as numpy column blocks.
+
+    Statistically equivalent to the object-per-job fast path
+    (``use_scheduler=False``) — same archetype mixture, distributions and
+    schema — but drawn batch-at-a-time with no per-job Python objects.
+    Queue delays are sampled per pool like :func:`_direct_table`: short
+    for the T4/misc pools, long for the congested non-T4 pools.
+    """
+    with kernel_timer("ingest-generate"):
+        users = UserPopulation(
+            config.n_users, new_user_fraction=0.12, seed=config.seed, name_prefix="user"
+        )
+        mixer = ArchetypeMixer(_pai_archetypes(), users, seed=config.seed)
+        table = mixer.sample_columns(config.n_jobs)
+
+        rng = np.random.default_rng(config.seed + 1)
+        gpu_req = table["gpu_type_req"]
+        fast = gpu_req.equals_scalar("None") | gpu_req.equals_scalar("T4")
+        delay = rng.exponential(1.0, len(table)) * np.where(fast, 120.0, 7200.0)
+        table.add_column("queue_delay", NumericColumn(delay))
+        return _finalize_pai_table(table)
 
 
 def _direct_table(
@@ -419,8 +635,7 @@ def _finalize_pai_table(table: ColumnTable) -> ColumnTable:
             "archetype",
         ]
     )
-    failed = [s == "failed" for s in table["status"].to_list()]
-    out.add_column("failed", failed)
+    out.add_column("failed", BooleanColumn(table["status"].equals_scalar("failed")))
     return out
 
 

@@ -40,7 +40,7 @@ from ...cluster import (
     UserPopulation,
     UserProfile,
 )
-from ...dataframe import ColumnTable
+from ...dataframe import BooleanColumn, ColumnTable
 from ...preprocess import BinningSpec, FeatureSpec, TierSpec, TracePreprocessor
 from .base import (
     Archetype,
@@ -310,15 +310,16 @@ def _finalize_philly_table(table: ColumnTable) -> ColumnTable:
             "archetype",
         ]
     ).rename({"group": "vc"})
-    statuses = table["status"].to_list()
-    out.add_column("failed", [s == "failed" for s in statuses])
-    out.add_column("killed", [s == "killed" for s in statuses])
+    status = table["status"]
+    out.add_column("failed", BooleanColumn(status.equals_scalar("failed")))
+    out.add_column("killed", BooleanColumn(status.equals_scalar("killed")))
     n_gpus = table["n_gpus"].values
     out.add_column("multi_gpu", (n_gpus > 1).astype(bool))
     attempts = table["num_attempts"].values
     out.add_column("retried", (attempts > 1).astype(bool))
-    gpu24 = [t == "GPU24GB" for t in table["gpu_type"].to_list()]
-    out.add_column("gpu_24gb", gpu24)
+    out.add_column(
+        "gpu_24gb", BooleanColumn(table["gpu_type"].equals_scalar("GPU24GB"))
+    )
     return out
 
 

@@ -42,7 +42,7 @@ from ...cluster import (
     UserPopulation,
     UserProfile,
 )
-from ...dataframe import ColumnTable
+from ...dataframe import BooleanColumn, ColumnTable
 from ...preprocess import BinningSpec, FeatureSpec, TierSpec, TracePreprocessor
 from .base import (
     Archetype,
@@ -323,9 +323,9 @@ def _finalize_supercloud_table(table: ColumnTable) -> ColumnTable:
             "archetype",
         ]
     )
-    statuses = table["status"].to_list()
-    out.add_column("failed", [s == "failed" for s in statuses])
-    out.add_column("killed", [s == "killed" for s in statuses])
+    status = table["status"]
+    out.add_column("failed", BooleanColumn(status.equals_scalar("failed")))
+    out.add_column("killed", BooleanColumn(status.equals_scalar("killed")))
     return out
 
 

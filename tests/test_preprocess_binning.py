@@ -168,3 +168,52 @@ def test_equal_frequency_balance(values, n_bins):
     labels = Discretizer(BinningSpec(n_bins=n_bins)).fit_transform(arr)
     counts = {b: labels.count(b) for b in set(labels)}
     assert max(counts.values()) <= int(np.ceil(2.2 * arr.size / n_bins))
+
+
+class TestZeroMinRegression:
+    """The zero special bin must win over Bin1 when the minimum is 0.
+
+    With an all-zero minimum and heavy ties, quantile edges collapse onto
+    the minimum; ``searchsorted(side="right")`` then lands exact zeros
+    past the collapsed duplicate edges.  Both the fit-min clamp and the
+    zero overlay apply to the same rows — the zero label must take
+    precedence over Bin1 in every transform path.
+    """
+
+    VALUES = np.asarray([0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 9.0])
+
+    def _fitted(self):
+        return Discretizer(BinningSpec(zero_label="0GB")).fit(self.VALUES)
+
+    def test_zero_wins_over_bin1(self):
+        d = self._fitted()
+        labels = d.transform(self.VALUES)
+        assert labels[:4] == ["0GB"] * 4
+        assert "Bin1" not in labels[:4]
+
+    def test_codes_match_rowwise(self):
+        d = self._fitted()
+        assert d.transform(self.VALUES) == d.transform_rowwise(self.VALUES)
+
+    def test_holdout_zero_still_special(self):
+        # zeros seen only at transform time (not fit) get the same label
+        d = Discretizer(BinningSpec(zero_label="0GB")).fit(
+            np.asarray([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        )
+        holdout = np.asarray([0.0, 0.5, 7.0, np.nan])
+        assert d.transform(holdout) == d.transform_rowwise(holdout)
+        assert d.transform(holdout)[0] == "0GB"
+
+    def test_fit_min_clamp_without_zero_label(self):
+        # nonzero minimum with collapsed edges: ties at the min stay Bin1
+        values = np.asarray([2.0, 2.0, 2.0, 2.0, 5.0, 5.0, 5.0, 9.0])
+        d = Discretizer().fit(values)
+        labels = d.transform(values)
+        assert labels[:4] == ["Bin1"] * 4
+        assert labels == d.transform_rowwise(values)
+
+    def test_code_labels_roundtrip(self):
+        d = self._fitted()
+        codes = d.transform_codes(self.VALUES)
+        labels = d.code_labels()
+        assert [labels[c] for c in codes] == d.transform(self.VALUES)
