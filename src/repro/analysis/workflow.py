@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..core import FrequentItemsets, KeywordRuleSet, MiningConfig
+from ..core.ruletable import RuleTable
 from ..dataframe import ColumnTable
 from ..engine import EngineStats, MiningEngine, default_engine
 from ..preprocess import PreprocessResult, TracePreprocessor
@@ -32,13 +33,20 @@ __all__ = ["AnalysisResult", "InterpretableAnalysis"]
 
 @dataclass(slots=True)
 class AnalysisResult:
-    """Everything one analysis run produces."""
+    """Everything one analysis run produces.
+
+    ``rule_table`` is the columnar union of every keyword study's kept
+    rules (deduplicated across studies, keyword iteration order); the
+    persistence layer builds the :class:`~repro.serve.RuleBook` straight
+    from its columns instead of re-pooling rule objects.
+    """
 
     config: MiningConfig
     preprocess: PreprocessResult
     itemsets: FrequentItemsets
     keyword_results: dict[str, KeywordRuleSet] = field(default_factory=dict)
     stats: EngineStats | None = None
+    rule_table: RuleTable | None = None
 
     def __getitem__(self, keyword_name: str) -> KeywordRuleSet:
         try:

@@ -11,6 +11,9 @@ Layers, bottom to top:
 * :mod:`repro.core.itemsets`, :mod:`repro.core.metrics`,
   :mod:`repro.core.rules` — result containers, rule quality metrics and
   rule enumeration.
+* :mod:`repro.core.ruletable` — the columnar (struct-of-arrays)
+  :class:`RuleTable`, the canonical rule representation every layer
+  above rule generation operates on.
 * :mod:`repro.core.pruning` — the keyword-centric Conditions 1–4.
 * :mod:`repro.core.mining` — one-call orchestration with paper defaults.
 """
@@ -22,8 +25,11 @@ from .fpgrowth import FPNode, FPTree, fpgrowth, fpgrowth_object
 from .items import Item, ItemVocabulary, render_itemset
 from .interest import (
     ExtendedMetrics,
+    ExtendedMetricsColumns,
     cosine,
     extended_metrics,
+    extended_metrics_columns,
+    extended_metrics_table,
     imbalance_ratio,
     jaccard,
     kulczynski,
@@ -40,8 +46,22 @@ from .mining import (
     mine_keyword_rules,
     mine_rules,
 )
-from .pruning import PruningConfig, PruningReport, keyword_rules, prune_rules
-from .rules import AssociationRule, generate_rules
+from .pruning import (
+    CondenseConfig,
+    PruningConfig,
+    PruningReport,
+    keyword_rules,
+    prune_rule_table,
+    prune_rules,
+    prune_rules_legacy,
+)
+from .rules import (
+    AssociationRule,
+    generate_rule_table,
+    generate_rules,
+    generate_rules_legacy,
+)
+from .ruletable import RuleTable
 from .transactions import TransactionDatabase
 
 __all__ = [
@@ -66,7 +86,10 @@ __all__ = [
     "NegativeRule",
     "mine_negative_keyword_rules",
     "ExtendedMetrics",
+    "ExtendedMetricsColumns",
     "extended_metrics",
+    "extended_metrics_columns",
+    "extended_metrics_table",
     "jaccard",
     "cosine",
     "kulczynski",
@@ -78,10 +101,16 @@ __all__ = [
     "leverage",
     "conviction",
     "AssociationRule",
+    "RuleTable",
     "generate_rules",
+    "generate_rule_table",
+    "generate_rules_legacy",
     "PruningConfig",
+    "CondenseConfig",
     "PruningReport",
     "prune_rules",
+    "prune_rule_table",
+    "prune_rules_legacy",
     "keyword_rules",
     "MiningConfig",
     "KeywordRuleSet",

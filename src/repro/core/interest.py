@@ -19,8 +19,14 @@ three supports, so they bolt onto any mined rule:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from .rules import AssociationRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ruletable import RuleTable
 
 __all__ = [
     "jaccard",
@@ -28,7 +34,10 @@ __all__ = [
     "kulczynski",
     "imbalance_ratio",
     "ExtendedMetrics",
+    "ExtendedMetricsColumns",
     "extended_metrics",
+    "extended_metrics_columns",
+    "extended_metrics_table",
 ]
 
 
@@ -90,3 +99,51 @@ def extended_metrics(rule: AssociationRule) -> ExtendedMetrics:
         kulczynski=kulczynski(supp_xy, supp_x, supp_y),
         imbalance_ratio=imbalance_ratio(supp_xy, supp_x, supp_y),
     )
+
+
+@dataclass(frozen=True, slots=True)
+class ExtendedMetricsColumns:
+    """Columnar form of :class:`ExtendedMetrics` — one float64 per rule."""
+
+    jaccard: np.ndarray
+    cosine: np.ndarray
+    kulczynski: np.ndarray
+    imbalance_ratio: np.ndarray
+
+
+def extended_metrics_columns(
+    support: np.ndarray, confidence: np.ndarray, lift: np.ndarray
+) -> ExtendedMetricsColumns:
+    """Vectorised :func:`extended_metrics` over metric columns.
+
+    Per-row semantics match the scalar function exactly, including the
+    all-zero result for rules with non-positive confidence or lift and
+    the zero fallback for degenerate denominators.
+    """
+    support = np.asarray(support, dtype=np.float64)
+    confidence = np.asarray(confidence, dtype=np.float64)
+    lift = np.asarray(lift, dtype=np.float64)
+    ok = (confidence > 0.0) & (lift > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        supp_x = np.where(ok, support / confidence, 0.0)
+        supp_y = np.where(ok, confidence / lift, 0.0)
+        union = supp_x + supp_y - support
+        jac = np.where(ok & (union > 0.0), support / union, 0.0)
+        cos_denom = (supp_x * supp_y) ** 0.5
+        cos = np.where(ok & (cos_denom > 0.0), support / cos_denom, 0.0)
+        kul = np.where(
+            ok & (supp_x > 0.0) & (supp_y > 0.0),
+            0.5 * (support / supp_x + support / supp_y),
+            0.0,
+        )
+        imb = np.where(
+            ok & (union > 0.0), np.abs(supp_x - supp_y) / union, 0.0
+        )
+    return ExtendedMetricsColumns(
+        jaccard=jac, cosine=cos, kulczynski=kul, imbalance_ratio=imb
+    )
+
+
+def extended_metrics_table(table: "RuleTable") -> ExtendedMetricsColumns:
+    """Extended measures for every row of a :class:`RuleTable`."""
+    return extended_metrics_columns(table.support, table.confidence, table.lift)

@@ -16,7 +16,7 @@ thresholds").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Literal
 
 from .apriori import apriori
@@ -24,8 +24,9 @@ from .eclat import eclat
 from .fpgrowth import fpgrowth
 from .items import Item, as_item
 from .itemsets import FrequentItemsets
-from .pruning import PruningConfig, PruningReport, prune_rules
-from .rules import AssociationRule, generate_rules
+from .pruning import PruningConfig, PruningReport, prune_rule_table
+from .rules import AssociationRule, generate_rule_table, generate_rules
+from .ruletable import RuleTable
 from .transactions import TransactionDatabase
 
 __all__ = [
@@ -103,7 +104,10 @@ class KeywordRuleSet:
 
     ``cause`` rules carry the keyword in the consequent ("C" rows of the
     paper's tables); ``characteristic`` rules carry it in the antecedent
-    ("A" rows).
+    ("A" rows).  ``table`` holds the surviving rules in columnar form
+    (pruned :class:`RuleTable`, canonical order) when the pass ran
+    through the table pipeline; persistence and serving consume it
+    without re-materialising objects.
     """
 
     keyword: Item
@@ -111,6 +115,7 @@ class KeywordRuleSet:
     characteristic: tuple[AssociationRule, ...]
     report: PruningReport
     n_rules_before_pruning: int
+    table: RuleTable | None = field(default=None, compare=False)
 
     @property
     def all_rules(self) -> tuple[AssociationRule, ...]:
@@ -190,13 +195,14 @@ def mine_keyword_rules(
             report=PruningReport(),
             n_rules_before_pruning=0,
         )
-    rules = generate_rules(
+    table = generate_rule_table(
         itemsets,
         min_lift=config.min_lift,
         min_confidence=config.min_confidence,
         keyword_ids=(kw_id,),
     )
-    kept, report = prune_rules(rules, kw, config.pruning)
+    kept_table, report = prune_rule_table(table, kw, config.pruning)
+    kept = kept_table.to_rules()
     cause = tuple(r for r in kept if kw in r.consequent)
     characteristic = tuple(r for r in kept if kw in r.antecedent)
     return KeywordRuleSet(
@@ -204,5 +210,6 @@ def mine_keyword_rules(
         cause=cause,
         characteristic=characteristic,
         report=report,
-        n_rules_before_pruning=len(rules),
+        n_rules_before_pruning=len(table),
+        table=kept_table,
     )

@@ -23,18 +23,55 @@ Decisions are evaluated against the *original* rule set (non-cascading):
 every pairwise test sees all input rules, and a rule is dropped if any
 test marks it.  This makes the result independent of rule enumeration
 order, which the paper's description implicitly assumes.
+
+The production path (:func:`prune_rule_table` and the array core behind
+:func:`prune_rules`) evaluates the conditions columnarly: rules sharing a
+side are grouped via ``np.unique`` over packed uint64 id-masks, and the
+strict-subset test for every pair in a group is a broadcasted
+``(x & y) == x`` over mask words — the same packing ``core/bitmap.py``
+uses for transactions.  :func:`prune_rules_legacy` keeps the original
+pairwise object implementation as the correctness oracle.
+
+An optional *condensation* pass (``condense=True``) further shrinks the
+survivor set per Kannan & Bhaskaran: rules whose null-invariant
+interestingness is weak (low Kulczynski or extreme imbalance ratio) are
+dropped first, then near-duplicate rules — same consequent, antecedent
+Jaccard similarity above a threshold — collapse onto their strongest
+representative.  Condensation is off by default and reported as pseudo
+conditions 5 (low interest) and 6 (clustered).
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field as dataclass_field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from .bitmap import kernel_timer
+from .interest import extended_metrics_columns
 from .items import Item, as_item
 from .rules import AssociationRule
+from .ruletable import RuleTable, pack_side_masks
 
-__all__ = ["PruningConfig", "PruningReport", "prune_rules", "keyword_rules"]
+__all__ = [
+    "PruningConfig",
+    "CondenseConfig",
+    "PruningReport",
+    "prune_rules",
+    "prune_rule_table",
+    "prune_rules_legacy",
+    "keyword_rules",
+]
+
+#: pseudo condition codes used by the condensation pass in reports
+CONDITION_LOW_INTEREST = 5
+CONDITION_CLUSTERED = 6
+
+#: pairwise chunk size: bounds the (chunk × group × words) broadcast to a
+#: few MB even for the largest keyword groups
+_PAIR_CHUNK = 256
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +86,31 @@ class PruningConfig:
             raise ValueError("C_lift must be >= 1")
         if self.c_supp < 1.0:
             raise ValueError("C_supp must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class CondenseConfig:
+    """Tunables of the optional condensation pass.
+
+    Rules with ``kulczynski < min_kulczynski`` or ``imbalance_ratio >
+    max_imbalance`` are dropped as uninteresting; among the remainder,
+    rules whose antecedent Jaccard similarity to an already-kept rule
+    with the same consequent reaches ``min_jaccard`` are clustered away
+    (first kept rule in input order is the representative — highest
+    ranked, since rule tables arrive in lift-descending order).
+    """
+
+    min_kulczynski: float = 0.3
+    max_imbalance: float = 0.95
+    min_jaccard: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_kulczynski <= 1.0:
+            raise ValueError("min_kulczynski must be in [0, 1]")
+        if not 0.0 <= self.max_imbalance <= 1.0:
+            raise ValueError("max_imbalance must be in [0, 1]")
+        if not 0.0 < self.min_jaccard <= 1.0:
+            raise ValueError("min_jaccard must be in (0, 1]")
 
 
 @dataclass(slots=True)
@@ -86,16 +148,324 @@ def _similar_or_higher(a: float, b: float, margin: float) -> bool:
     return margin * a >= b
 
 
+# ---------------------------------------------------------------------------
+# columnar condition kernel
+# ---------------------------------------------------------------------------
+
+
+def _group_rows(masks: np.ndarray) -> Iterator[np.ndarray]:
+    """Yield index arrays (input order) of rows sharing an identical mask.
+
+    Groups of size 1 cannot contain a nested pair and are skipped.
+    """
+    if len(masks) < 2:
+        return
+    _, inverse = np.unique(masks, axis=0, return_inverse=True)
+    inverse = np.asarray(inverse).ravel()
+    order = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    for g in range(len(counts)):
+        if counts[g] >= 2:
+            yield order[bounds[g] : bounds[g + 1]]
+
+
+def _phase_shared_consequent(
+    rows: np.ndarray,
+    ant_masks: np.ndarray,
+    ant_sizes: np.ndarray,
+    lift: np.ndarray,
+    support: np.ndarray,
+    in_ant: np.ndarray,
+    in_cons: np.ndarray,
+    c_lift: float,
+    c_supp: float,
+    cond: np.ndarray,
+) -> None:
+    """Conditions 1 and 4 over one shared-consequent group.
+
+    For every strictly-nested antecedent pair (short ⊂ long):
+
+    * C1 (keyword in the shared consequent): ``c_lift·lift_s ≥ lift_l``
+      marks the long rule, else ``c_supp·supp_l ≥ supp_s`` marks the
+      short rule;
+    * C4 (keyword in both antecedents): ``c_lift·lift_s ≥ lift_l`` marks
+      the long rule.
+    """
+    masks = ant_masks[rows]
+    sizes = ant_sizes[rows]
+    lf = lift[rows]
+    sp = support[rows]
+    ia = in_ant[rows]
+    ic = in_cons[rows]
+    n = len(rows)
+    mark1 = np.zeros(n, dtype=bool)
+    mark4 = np.zeros(n, dtype=bool)
+    for s0 in range(0, n, _PAIR_CHUNK):
+        s1 = min(s0 + _PAIR_CHUNK, n)
+        chunk = masks[s0:s1]
+        subset = ((chunk[:, None, :] & masks[None, :, :]) == chunk[:, None, :]).all(axis=2)
+        strict = subset & (sizes[s0:s1, None] < sizes[None, :])
+        lift_short_ok = (c_lift * lf[s0:s1, None]) >= lf[None, :]
+        pair1 = strict & ic[s0:s1, None]
+        mark1 |= (pair1 & lift_short_ok).any(axis=0)
+        supp_long_ok = (c_supp * sp[None, :]) >= sp[s0:s1, None]
+        mark1[s0:s1] |= (pair1 & ~lift_short_ok & supp_long_ok).any(axis=1)
+        pair4 = strict & ~ic[s0:s1, None] & ia[s0:s1, None] & ia[None, :]
+        mark4 |= (pair4 & lift_short_ok).any(axis=0)
+    cond[rows] = np.where(mark1, 1, np.where(mark4, 4, cond[rows]))
+
+
+def _phase_shared_antecedent(
+    rows: np.ndarray,
+    cons_masks: np.ndarray,
+    cons_sizes: np.ndarray,
+    lift: np.ndarray,
+    support: np.ndarray,
+    in_ant: np.ndarray,
+    in_cons: np.ndarray,
+    c_lift: float,
+    c_supp: float,
+    cond: np.ndarray,
+) -> None:
+    """Conditions 2 and 3 over one shared-antecedent group.
+
+    For every strictly-nested consequent pair (short ⊂ long):
+
+    * C2 (keyword in the shared antecedent): ``c_lift·lift_l ≥ lift_s``
+      AND ``c_supp·supp_l ≥ supp_s`` marks the short rule, else
+      ``c_lift·lift_l < lift_s`` marks the long rule;
+    * C3 (keyword in both consequents): ``c_lift·lift_s ≥ lift_l`` marks
+      the long rule.
+    """
+    masks = cons_masks[rows]
+    sizes = cons_sizes[rows]
+    lf = lift[rows]
+    sp = support[rows]
+    ia = in_ant[rows]
+    ic = in_cons[rows]
+    n = len(rows)
+    mark2 = np.zeros(n, dtype=bool)
+    mark3 = np.zeros(n, dtype=bool)
+    for s0 in range(0, n, _PAIR_CHUNK):
+        s1 = min(s0 + _PAIR_CHUNK, n)
+        chunk = masks[s0:s1]
+        subset = ((chunk[:, None, :] & masks[None, :, :]) == chunk[:, None, :]).all(axis=2)
+        strict = subset & (sizes[s0:s1, None] < sizes[None, :])
+        pair2 = strict & ia[s0:s1, None]
+        lift_long_ok = (c_lift * lf[None, :]) >= lf[s0:s1, None]
+        supp_long_ok = (c_supp * sp[None, :]) >= sp[s0:s1, None]
+        mark2[s0:s1] |= (pair2 & lift_long_ok & supp_long_ok).any(axis=1)
+        mark2 |= (pair2 & ~lift_long_ok).any(axis=0)
+        pair3 = strict & ~ia[s0:s1, None] & ic[s0:s1, None] & ic[None, :]
+        lift_short_ok = (c_lift * lf[s0:s1, None]) >= lf[None, :]
+        mark3 |= (pair3 & lift_short_ok).any(axis=0)
+    cond[rows] = np.where(
+        cond[rows] != 0, cond[rows], np.where(mark2, 2, np.where(mark3, 3, 0))
+    )
+
+
+def _prune_arrays(
+    ant_indptr: np.ndarray,
+    ant_ids: np.ndarray,
+    cons_indptr: np.ndarray,
+    cons_ids: np.ndarray,
+    lift: np.ndarray,
+    support: np.ndarray,
+    confidence: np.ndarray,
+    in_ant: np.ndarray,
+    in_cons: np.ndarray,
+    config: PruningConfig,
+    condense_config: CondenseConfig | None,
+) -> np.ndarray:
+    """Array core shared by both public paths.
+
+    Returns the per-rule condition code (0 = kept; 1–4 = Sec. III-D;
+    5/6 = condensation).  All inputs are keyword-relevant rules only.
+    The recorded code mirrors the legacy ``setdefault`` semantics: the
+    consequent-grouped phase (C1/C4) wins over the antecedent-grouped
+    phase (C2/C3), which wins over condensation.
+    """
+    n = len(lift)
+    cond = np.zeros(n, dtype=np.int8)
+    if n == 0:
+        return cond
+
+    n_items = 1
+    if ant_ids.size:
+        n_items = max(n_items, int(ant_ids.max()) + 1)
+    if cons_ids.size:
+        n_items = max(n_items, int(cons_ids.max()) + 1)
+
+    with kernel_timer("prune-masks"):
+        ant_masks = pack_side_masks(ant_indptr, ant_ids, n_items)
+        cons_masks = pack_side_masks(cons_indptr, cons_ids, n_items)
+        ant_sizes = np.diff(ant_indptr)
+        cons_sizes = np.diff(cons_indptr)
+
+    with kernel_timer("prune-pairs"):
+        for rows in _group_rows(cons_masks):
+            _phase_shared_consequent(
+                rows, ant_masks, ant_sizes, lift, support,
+                in_ant, in_cons, config.c_lift, config.c_supp, cond,
+            )
+        for rows in _group_rows(ant_masks):
+            _phase_shared_antecedent(
+                rows, cons_masks, cons_sizes, lift, support,
+                in_ant, in_cons, config.c_lift, config.c_supp, cond,
+            )
+
+    if condense_config is not None:
+        with kernel_timer("prune-condense"):
+            survivors = np.flatnonzero(cond == 0)
+            cond[survivors] = _condense_codes(
+                [frozenset(int(x) for x in ant_ids[ant_indptr[i]:ant_indptr[i + 1]])
+                 for i in survivors],
+                [tuple(int(x) for x in cons_ids[cons_indptr[i]:cons_indptr[i + 1]])
+                 for i in survivors],
+                support[survivors], confidence[survivors], lift[survivors],
+                condense_config,
+            )
+    return cond
+
+
+def _condense_codes(
+    ant_sets: Sequence[frozenset[int]],
+    cons_keys: Sequence[tuple[int, ...]],
+    support: np.ndarray,
+    confidence: np.ndarray,
+    lift: np.ndarray,
+    config: CondenseConfig,
+) -> np.ndarray:
+    """Condensation codes (0 kept, 5 low interest, 6 clustered)."""
+    ext = extended_metrics_columns(support, confidence, lift)
+    interesting = (ext.kulczynski >= config.min_kulczynski) & (
+        ext.imbalance_ratio <= config.max_imbalance
+    )
+    codes = np.where(interesting, 0, CONDITION_LOW_INTEREST).astype(np.int8)
+    representatives: dict[tuple[int, ...], list[frozenset[int]]] = defaultdict(list)
+    for i in np.flatnonzero(interesting):
+        antecedent = ant_sets[i]
+        reps = representatives[cons_keys[i]]
+        for rep in reps:
+            shared = len(antecedent & rep)
+            if shared and shared / len(antecedent | rep) >= config.min_jaccard:
+                codes[i] = CONDITION_CLUSTERED
+                break
+        else:
+            reps.append(antecedent)
+    return codes
+
+
+# ---------------------------------------------------------------------------
+# public paths
+# ---------------------------------------------------------------------------
+
+
+def prune_rule_table(
+    table: RuleTable,
+    keyword: Item | str,
+    config: PruningConfig = PruningConfig(),
+    *,
+    condense: bool = False,
+    condense_config: CondenseConfig | None = None,
+) -> tuple[RuleTable, PruningReport]:
+    """Apply Conditions 1–4 (and optional condensation) to a RuleTable.
+
+    Rows not containing the keyword are removed up front, matching
+    :func:`prune_rules`.  Returns the surviving rows — input order
+    preserved — and a :class:`PruningReport`.
+    """
+    kw = as_item(keyword)
+    report = PruningReport()
+    keyword_id = table.vocabulary.get_id(kw)
+    if keyword_id is None or len(table) == 0:
+        return table.select(np.empty(0, dtype=np.int64)), report
+
+    in_ant_all, in_cons_all = table.contains_id(keyword_id)
+    relevant_rows = np.flatnonzero(in_ant_all | in_cons_all)
+    sub = table.select(relevant_rows)
+    report.n_input = len(sub)
+
+    cond = _prune_arrays(
+        sub.ant_indptr, sub.ant_ids, sub.cons_indptr, sub.cons_ids,
+        sub.lift, sub.support, sub.confidence,
+        in_ant_all[relevant_rows], in_cons_all[relevant_rows],
+        config,
+        (condense_config or CondenseConfig()) if condense else None,
+    )
+    kept = sub.select(np.flatnonzero(cond == 0))
+    report.n_kept = len(kept)
+    report.pruned_by_condition.update(int(c) for c in cond if c)
+    return kept, report
+
+
 def prune_rules(
     rules: Sequence[AssociationRule],
     keyword: Item | str,
     config: PruningConfig = PruningConfig(),
+    *,
+    condense: bool = False,
+    condense_config: CondenseConfig | None = None,
 ) -> tuple[list[AssociationRule], PruningReport]:
     """Apply Conditions 1–4 to *rules* for the given *keyword*.
 
     Input rules not containing the keyword are removed up front (they are
     irrelevant to the analysis objective).  Returns the surviving rules in
-    their input order plus a :class:`PruningReport`.
+    their input order plus a :class:`PruningReport`.  Runs the same array
+    kernel as :func:`prune_rule_table`; :func:`prune_rules_legacy` is the
+    original object implementation kept as the oracle.
+
+    With ``condense=True`` an additional interestingness + clustering
+    pass (see :class:`CondenseConfig`) shrinks the survivor set; dropped
+    rules are reported under pseudo conditions 5 and 6.
+    """
+    kw = as_item(keyword)
+    relevant = keyword_rules(rules, kw)
+    report = PruningReport(n_input=len(relevant))
+    if not relevant:
+        report.n_kept = 0
+        return [], report
+
+    ant_indptr = [0]
+    cons_indptr = [0]
+    ant_ids: list[int] = []
+    cons_ids: list[int] = []
+    for rule in relevant:
+        ant_ids.extend(sorted(rule.antecedent_ids))
+        cons_ids.extend(sorted(rule.consequent_ids))
+        ant_indptr.append(len(ant_ids))
+        cons_indptr.append(len(cons_ids))
+
+    cond = _prune_arrays(
+        np.asarray(ant_indptr, dtype=np.int64),
+        np.asarray(ant_ids, dtype=np.int64),
+        np.asarray(cons_indptr, dtype=np.int64),
+        np.asarray(cons_ids, dtype=np.int64),
+        np.fromiter((r.lift for r in relevant), np.float64, count=len(relevant)),
+        np.fromiter((r.support for r in relevant), np.float64, count=len(relevant)),
+        np.fromiter((r.confidence for r in relevant), np.float64, count=len(relevant)),
+        np.fromiter((kw in r.antecedent for r in relevant), bool, count=len(relevant)),
+        np.fromiter((kw in r.consequent for r in relevant), bool, count=len(relevant)),
+        config,
+        (condense_config or CondenseConfig()) if condense else None,
+    )
+    kept = [rule for i, rule in enumerate(relevant) if not cond[i]]
+    report.n_kept = len(kept)
+    report.pruned_by_condition.update(int(c) for c in cond if c)
+    return kept, report
+
+
+def prune_rules_legacy(
+    rules: Sequence[AssociationRule],
+    keyword: Item | str,
+    config: PruningConfig = PruningConfig(),
+) -> tuple[list[AssociationRule], PruningReport]:
+    """The original pairwise object implementation — the pruning oracle.
+
+    The CI equality sweep asserts the array kernel keeps exactly the same
+    rules with the same per-condition counts on all three traces.  Do not
+    change this function's behaviour.
     """
     kw = as_item(keyword)
     relevant = keyword_rules(rules, kw)

@@ -21,8 +21,9 @@ from ..core.bitmap import kernel_delta, kernel_snapshot
 from ..core.itemsets import FrequentItemsets
 from ..core.items import Item, as_item
 from ..core.mining import KeywordRuleSet, MiningConfig
-from ..core.pruning import PruningReport, prune_rules
-from ..core.rules import AssociationRule, generate_rules
+from ..core.pruning import PruningReport, prune_rule_table
+from ..core.rules import SKIPPED_KERNEL, generate_rule_table
+from ..core.ruletable import RuleTable
 from ..core.transactions import TransactionDatabase
 from .backends import ExecutionBackend, get_backend
 from .cache import CacheStats, ItemsetCache
@@ -129,12 +130,12 @@ class MiningEngine:
         kw: Item,
         itemsets: FrequentItemsets,
         config: MiningConfig,
-    ) -> list[AssociationRule] | None:
-        """Lift/confidence-filtered rules touching *kw*; None if unseen."""
+    ) -> RuleTable | None:
+        """Lift/confidence-filtered rule table touching *kw*; None if unseen."""
         kw_id = db.vocabulary.get_id(kw)
         if kw_id is None:
             return None
-        return generate_rules(
+        return generate_rule_table(
             itemsets,
             min_lift=config.min_lift,
             min_confidence=config.min_confidence,
@@ -203,23 +204,35 @@ class MiningEngine:
 
         generate_seconds = prune_seconds = 0.0
         n_generated = n_kept = 0
+        kept_tables: list[RuleTable] = []
         before = kernel_snapshot()
         for name, keyword in keywords.items():
             kw = as_item(keyword)
             with StageTimer() as t:
-                rules = self._generate_for_keyword(db, kw, itemsets, config)
+                table = self._generate_for_keyword(db, kw, itemsets, config)
             generate_seconds += t.seconds
-            if rules is None:
+            if table is None:
                 result.keyword_results[name] = _empty_ruleset(kw)
                 continue
-            n_generated += len(rules)
+            n_generated += len(table)
             with StageTimer() as t:
-                ruleset = _prune_into_ruleset(rules, kw, config)
+                ruleset = _prune_into_ruleset(table, kw, config)
             prune_seconds += t.seconds
             n_kept += len(ruleset)
+            if ruleset.table is not None and len(ruleset.table):
+                kept_tables.append(ruleset.table)
             result.keyword_results[name] = ruleset
 
-        generate_kernels = kernel_delta(before, kernel_snapshot())
+        # one kernel delta covers the whole loop; attribute ``prune-*``
+        # kernels to the prune stage and the rest to generation
+        loop_kernels = kernel_delta(before, kernel_snapshot())
+        generate_kernels = tuple(
+            k for k in loop_kernels if not k[0].startswith("prune-")
+        )
+        prune_kernels = tuple(k for k in loop_kernels if k[0].startswith("prune-"))
+        stats.rules_skipped += sum(
+            calls for name, _seconds, calls in loop_kernels if name == SKIPPED_KERNEL
+        )
         stats.add(
             StageStats(
                 "generate-rules",
@@ -229,7 +242,15 @@ class MiningEngine:
                 kernels=generate_kernels,
             )
         )
-        stats.add(StageStats("prune", prune_seconds, n_generated, n_kept))
+        stats.add(
+            StageStats(
+                "prune", prune_seconds, n_generated, n_kept, kernels=prune_kernels
+            )
+        )
+        if kept_tables:
+            result.rule_table = RuleTable.concat(kept_tables).dedup()
+        else:
+            result.rule_table = RuleTable.empty(db.vocabulary)
         return result
 
 
@@ -245,16 +266,18 @@ def _empty_ruleset(kw: Item) -> KeywordRuleSet:
 
 
 def _prune_into_ruleset(
-    rules: list[AssociationRule], kw: Item, config: MiningConfig
+    table: RuleTable, kw: Item, config: MiningConfig
 ) -> KeywordRuleSet:
     """Apply Conditions 1–4 and split into cause ("C") / characteristic ("A")."""
-    kept, report = prune_rules(rules, kw, config.pruning)
+    kept_table, report = prune_rule_table(table, kw, config.pruning)
+    kept = kept_table.to_rules()
     return KeywordRuleSet(
         keyword=kw,
         cause=tuple(r for r in kept if kw in r.consequent),
         characteristic=tuple(r for r in kept if kw in r.antecedent),
         report=report,
-        n_rules_before_pruning=len(rules),
+        n_rules_before_pruning=len(table),
+        table=kept_table,
     )
 
 

@@ -62,12 +62,21 @@ class StageStats:
 
 @dataclass(slots=True)
 class EngineStats:
-    """Everything one engine run measured, in stage order."""
+    """Everything one engine run measured, in stage order.
+
+    ``rules_skipped`` counts antecedent/consequent splits dropped during
+    rule generation because a sub-itemset's support was missing from the
+    table (possible with SON-style partitioned mining, which can emit a
+    superset without every subset).  Silently losing those candidates
+    would skew the rule counts, so the engine surfaces the tally here and
+    the CLI ``--profile`` footer warns when it is non-zero.
+    """
 
     backend: str
     stages: list[StageStats] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    rules_skipped: int = 0
 
     def add(self, stage: StageStats) -> None:
         self.stages.append(stage)
@@ -95,6 +104,7 @@ class EngineStats:
             "backend": self.backend,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "rules_skipped": self.rules_skipped,
             "total_seconds": self.total_seconds,
             "stages": [stage.as_dict() for stage in self.stages],
         }
@@ -121,6 +131,11 @@ class EngineStats:
                     lines.append(
                         f"    kernel {name:<16} {seconds:>8.3f}s  calls={calls}"
                     )
+        if self.rules_skipped:
+            lines.append(
+                f"  warning: {self.rules_skipped} candidate split(s) skipped "
+                "(sub-itemset support missing from the itemset table)"
+            )
         return "\n".join(lines)
 
 

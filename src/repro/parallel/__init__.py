@@ -7,11 +7,12 @@ shim kept for one release — new code routes through
 """
 
 from .partition import count_candidates, local_candidates, son_mine
-from .rulegen import parallel_generate_rules
+from .rulegen import parallel_generate_rule_table, parallel_generate_rules
 
 __all__ = [
     "son_mine",
     "count_candidates",
     "local_candidates",
     "parallel_generate_rules",
+    "parallel_generate_rule_table",
 ]

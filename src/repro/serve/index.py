@@ -12,6 +12,14 @@ counter reaches its antecedent size.  Cost: O(items in job + postings
 touched), independent of rules whose antecedents share nothing with the
 job.
 
+The index is built from the columnar
+:class:`~repro.core.ruletable.RuleTable` (the RuleBook's canonical rule
+storage): item strings are rendered once per vocabulary entry and the
+postings walk the CSR id rows, so no :class:`AssociationRule` objects
+exist at build time.  ``index.rules`` materialises object views lazily
+for the presentation paths (:class:`Match`, :meth:`explain`); the
+``match_wire`` hot path never touches them.
+
 Two serving-oriented optimisations keep the per-request constant small:
 
 * postings are keyed by canonical item *strings*, so the wire form of a
@@ -37,7 +45,8 @@ from typing import Iterable, Iterator
 
 from ..core.items import Item
 from ..core.rules import AssociationRule
-from .rulebook import RuleBook
+from ..core.ruletable import RuleTable
+from .rulebook import RuleBook, _canonical_from_rules
 
 __all__ = ["Match", "NearMiss", "RuleIndex"]
 
@@ -82,13 +91,15 @@ class NearMiss:
 class RuleIndex:
     """Immutable inverted index over a rule set's antecedents.
 
-    Rules are stored lift-ranked (the RuleBook order), so walking fired
-    candidates in rule-id order yields matches already ranked by
-    (lift, confidence, support) descending — no per-query sort.
+    Rules are stored lift-ranked (the RuleBook / RuleTable canonical
+    order), so walking fired candidates in rule-id order yields matches
+    already ranked by (lift, confidence, support) descending — no
+    per-query sort.
     """
 
     __slots__ = (
-        "rules",
+        "_table",
+        "_rules",
         "_postings",
         "_ant_sizes",
         "_ant_keys",
@@ -99,30 +110,48 @@ class RuleIndex:
         "_wire_json",
     )
 
-    def __init__(self, rules: Iterable[AssociationRule]):
-        self.rules: tuple[AssociationRule, ...] = tuple(
-            sorted(rules, key=_rank_key)
-        )
+    def __init__(
+        self,
+        rules: Iterable[AssociationRule] | None = None,
+        *,
+        table: RuleTable | None = None,
+    ):
+        if table is not None:
+            if rules is not None:
+                raise ValueError("pass either rules or table, not both")
+            table = table.sort_canonical()
+        else:
+            # object input is re-keyed into a canonical table first, so
+            # both construction paths share the one columnar build below
+            table = _canonical_from_rules(tuple(rules or ()))
+        self._table = table
+        self._rules: tuple[AssociationRule, ...] | None = None
+
+        vocabulary = table.vocabulary
         postings: dict[str, list[int]] = {}
         #: any accepted spelling → canonical key (None = known, not indexed)
         canon: dict[str, str | None] = {}
         item_of: dict[str, Item] = {}
+        keys_by_id: list[str] = []
+        renders_by_id: list[str] = []
+        for item in vocabulary:
+            key = str(item)
+            canon[key] = key
+            canon[item.render()] = key
+            item_of[key] = item
+            keys_by_id.append(key)
+            renders_by_id.append(item.render())
+
         self._ant_sizes: list[int] = []
         self._ant_keys: list[frozenset[str]] = []
         self._cons_keys: list[frozenset[str]] = []
         self._wire: list[dict] = []
         self._wire_json: list[tuple[str, str]] = []
-
-        def register(item: Item) -> str:
-            key = str(item)
-            canon[key] = key
-            canon[item.render()] = key
-            item_of[key] = item
-            return key
-
-        for rule_id, rule in enumerate(self.rules):
-            ant_keys = frozenset(register(i) for i in rule.antecedent)
-            cons_keys = frozenset(register(i) for i in rule.consequent)
+        for rule_id in range(len(table)):
+            ant_row = table.ant_row(rule_id)
+            cons_row = table.cons_row(rule_id)
+            ant_keys = frozenset(keys_by_id[int(x)] for x in ant_row)
+            cons_keys = frozenset(keys_by_id[int(x)] for x in cons_row)
             self._ant_sizes.append(len(ant_keys))
             self._ant_keys.append(ant_keys)
             self._cons_keys.append(cons_keys)
@@ -130,11 +159,11 @@ class RuleIndex:
                 postings.setdefault(key, []).append(rule_id)
             wire = {
                 "rule_id": rule_id,
-                "antecedent": sorted(i.render() for i in rule.antecedent),
-                "consequent": sorted(i.render() for i in rule.consequent),
-                "support": rule.support,
-                "confidence": rule.confidence,
-                "lift": rule.lift,
+                "antecedent": sorted(renders_by_id[int(x)] for x in ant_row),
+                "consequent": sorted(renders_by_id[int(x)] for x in cons_row),
+                "support": float(table.support[rule_id]),
+                "confidence": float(table.confidence[rule_id]),
+                "lift": float(table.lift[rule_id]),
             }
             self._wire.append(wire)
             self._wire_json.append(
@@ -149,14 +178,26 @@ class RuleIndex:
 
     @classmethod
     def from_rulebook(cls, book: RuleBook) -> "RuleIndex":
-        return cls(book.rules)
+        return cls(table=book.table)
+
+    @property
+    def table(self) -> RuleTable:
+        """The canonical columnar rule storage backing this index."""
+        return self._table
+
+    @property
+    def rules(self) -> tuple[AssociationRule, ...]:
+        """Rule-object views in index order, materialised on first access."""
+        if self._rules is None:
+            self._rules = tuple(self._table.to_rules())
+        return self._rules
 
     def __len__(self) -> int:
-        return len(self.rules)
+        return len(self._table)
 
     def __repr__(self) -> str:
         return (
-            f"RuleIndex(n_rules={len(self.rules)}, "
+            f"RuleIndex(n_rules={len(self)}, "
             f"n_indexed_items={len(self._postings)})"
         )
 
@@ -226,7 +267,7 @@ class RuleIndex:
         The service hot path: fired rules come back as ``(rule_id,
         encoded fragment)`` pairs ready to be joined into a
         ``match_result`` payload, with zero per-request serialisation of
-        rule content.
+        rule content — and zero rule-object materialisation.
         """
         keys = self._normalize(transaction)
         wire_json = self._wire_json
@@ -283,16 +324,6 @@ class RuleIndex:
 
     def rule_label(self, rule_id: int) -> str:
         return _rule_label(self.rules[rule_id])
-
-
-def _rank_key(rule: AssociationRule) -> tuple:
-    return (
-        -rule.lift,
-        -rule.confidence,
-        -rule.support,
-        str(sorted(rule.antecedent)),
-        str(sorted(rule.consequent)),
-    )
 
 
 def _rule_label(rule: AssociationRule) -> str:

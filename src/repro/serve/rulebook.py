@@ -7,6 +7,14 @@ and keywords it was mined from, the full :class:`MiningConfig`, the
 content fingerprint of the transaction database, and the engine backend
 that produced it.
 
+Internally a book stores its rules as a columnar
+:class:`~repro.core.ruletable.RuleTable` (the canonical rule form):
+persistence streams straight from the table's CSR id rows and metric
+columns, and :class:`~repro.serve.RuleIndex` builds its postings from the
+same arrays.  ``book.rules`` materialises
+:class:`~repro.core.rules.AssociationRule` views lazily for callers that
+still want objects.
+
 The on-disk format is JSON-lines with a mandatory header record::
 
     {"record": "header", "schema_version": 1, "items": [...], ...}
@@ -27,12 +35,15 @@ from __future__ import annotations
 import json
 import math
 import os
-from dataclasses import asdict, dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
 
 from ..core.items import Item, ItemVocabulary
 from ..core.mining import MiningConfig
 from ..core.rules import AssociationRule
+from ..core.ruletable import RuleTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..analysis.workflow import AnalysisResult
@@ -68,7 +79,6 @@ def _dec_float(value: float | int | str) -> float:
     return float(value)
 
 
-@dataclass(slots=True)
 class RuleBook:
     """A persisted, provenance-stamped set of association rules.
 
@@ -77,33 +87,75 @@ class RuleBook:
     preserves.  All provenance fields are optional so a RuleBook can also
     wrap ad-hoc rule lists (tests, benchmarks).
 
-    On construction every rule is re-keyed into the book's own dense
+    On construction the rules are re-keyed into the book's own dense
     id-space (items sorted, id = rank): a rule's identity must not depend
     on the insertion order of the mining vocabulary it came from, or two
     books over identical rules would differ on disk.  Canonicalisation is
-    idempotent, which is exactly what makes save → load bit-exact.
+    idempotent, which is exactly what makes save → load bit-exact — and
+    it happens on the table's columns, whether the book was built from a
+    :class:`RuleTable` (``table=``) or from rule objects (``rules=``).
     """
 
-    rules: tuple[AssociationRule, ...]
-    trace: str | None = None
-    keywords: dict[str, str] = field(default_factory=dict)
-    config: MiningConfig | None = None
-    fingerprint: str | None = None
-    backend: str | None = None
-    n_transactions: int | None = None
-    schema_version: int = SCHEMA_VERSION
-    _items: tuple[Item, ...] = field(init=False, repr=False)
+    __slots__ = (
+        "trace",
+        "keywords",
+        "config",
+        "fingerprint",
+        "backend",
+        "n_transactions",
+        "schema_version",
+        "_table",
+        "_rules",
+    )
 
-    def __post_init__(self) -> None:
-        items = sorted({item for rule in self.rules for item in rule.items})
-        ids = {item: i for i, item in enumerate(items)}
-        self._items = tuple(items)
-        self.rules = tuple(
-            sorted((_rekey_rule(rule, ids) for rule in self.rules), key=_rule_order)
-        )
+    def __init__(
+        self,
+        rules: Sequence[AssociationRule] = (),
+        trace: str | None = None,
+        keywords: dict[str, str] | None = None,
+        config: MiningConfig | None = None,
+        fingerprint: str | None = None,
+        backend: str | None = None,
+        n_transactions: int | None = None,
+        schema_version: int = SCHEMA_VERSION,
+        *,
+        table: RuleTable | None = None,
+    ):
+        self.trace = trace
+        self.keywords = dict(keywords) if keywords else {}
+        self.config = config
+        self.fingerprint = fingerprint
+        self.backend = backend
+        self.n_transactions = n_transactions
+        self.schema_version = schema_version
+        if table is not None:
+            if rules:
+                raise ValueError("pass either rules or table, not both")
+            self._table = _canonical_from_table(table)
+        else:
+            self._table = _canonical_from_rules(tuple(rules))
+        self._rules: tuple[AssociationRule, ...] | None = None
+
+    # -- rule access -----------------------------------------------------------
+    @property
+    def table(self) -> RuleTable:
+        """The canonical columnar rule storage (dense sorted id-space)."""
+        return self._table
+
+    @property
+    def rules(self) -> tuple[AssociationRule, ...]:
+        """Rule-object views of the table, materialised on first access."""
+        if self._rules is None:
+            self._rules = tuple(self._table.to_rules())
+        return self._rules
+
+    @property
+    def _items(self) -> tuple[Item, ...]:
+        """The canonical id-space (position = id)."""
+        return tuple(self._table.vocabulary)
 
     def __len__(self) -> int:
-        return len(self.rules)
+        return len(self._table)
 
     def __iter__(self) -> Iterator[AssociationRule]:
         return iter(self.rules)
@@ -123,19 +175,13 @@ class RuleBook:
 
         Cause and characteristic rules of all keyword studies are pooled;
         a rule surviving several studies appears once.  Provenance (config,
-        database fingerprint, backend) is lifted off the result.
+        database fingerprint, backend) is lifted off the result.  When the
+        run carries the engine's columnar union
+        (:attr:`~repro.analysis.workflow.AnalysisResult.rule_table`), the
+        book is built from those columns directly; results assembled by
+        hand fall back to pooling the per-keyword rule objects.
         """
-        seen: set[tuple[frozenset[int], frozenset[int]]] = set()
-        rules: list[AssociationRule] = []
-        for ruleset in result.keyword_results.values():
-            for rule in ruleset.all_rules:
-                key = (rule.antecedent_ids, rule.consequent_ids)
-                if key in seen:
-                    continue
-                seen.add(key)
-                rules.append(rule)
-        return cls(
-            rules=tuple(rules),
+        provenance = dict(
             trace=trace,
             keywords={
                 name: ruleset.keyword.render()
@@ -146,6 +192,19 @@ class RuleBook:
             backend=result.stats.backend if result.stats is not None else None,
             n_transactions=len(result.preprocess.database),
         )
+        table = getattr(result, "rule_table", None)
+        if table is not None:
+            return cls(table=table, **provenance)
+        seen: set[tuple[frozenset[int], frozenset[int]]] = set()
+        rules: list[AssociationRule] = []
+        for ruleset in result.keyword_results.values():
+            for rule in ruleset.all_rules:
+                key = (rule.antecedent_ids, rule.consequent_ids)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rules.append(rule)
+        return cls(rules=tuple(rules), **provenance)
 
     # -- persistence -----------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
@@ -154,11 +213,14 @@ class RuleBook:
         The header's ``items`` list is the book's canonical id-space
         (position = id), so rule lines stay compact and a loaded rule
         compares equal to the saved one field for field, ids included.
+        Records stream straight off the table columns; no rule objects
+        are materialised.
         """
+        table = self._table
         header = {
             "record": "header",
             "schema_version": self.schema_version,
-            "n_rules": len(self.rules),
+            "n_rules": len(table),
             "items": [[item.feature, item.value] for item in self._items],
             "trace": self.trace,
             "keywords": self.keywords,
@@ -167,21 +229,28 @@ class RuleBook:
             "backend": self.backend,
             "n_transactions": self.n_transactions,
         }
+        metric_cols = [getattr(table, name) for name in _METRIC_FIELDS]
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header, sort_keys=True) + "\n")
-            for rule in self.rules:
+            for i in range(len(table)):
                 record: dict = {
                     "record": "rule",
-                    "antecedent_ids": sorted(rule.antecedent_ids),
-                    "consequent_ids": sorted(rule.consequent_ids),
+                    "antecedent_ids": [int(x) for x in table.ant_row(i)],
+                    "consequent_ids": [int(x) for x in table.cons_row(i)],
                 }
-                for name in _METRIC_FIELDS:
-                    record[name] = _enc_float(getattr(rule, name))
+                for name, col in zip(_METRIC_FIELDS, metric_cols):
+                    record[name] = _enc_float(float(col[i]))
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
 
     @classmethod
     def load(cls, path: str | os.PathLike) -> "RuleBook":
-        """Load a RuleBook, validating schema version and record shape."""
+        """Load a RuleBook, validating schema version and record shape.
+
+        Rule records decode straight into table columns; the constructor
+        re-canonicalises, so a hand-edited file (unsorted ids, unused
+        header items) still loads into the same book its pristine twin
+        would.
+        """
         with open(path, "r", encoding="utf-8") as fh:
             lines = [line for line in fh if line.strip()]
         if not lines:
@@ -203,7 +272,13 @@ class RuleBook:
         except (KeyError, TypeError, ValueError) as exc:
             raise RuleBookSchemaError(f"{path}: bad item table: {exc}") from None
         config = header.get("config")
-        rules = []
+
+        n_rules = 0
+        ant_indptr = [0]
+        cons_indptr = [0]
+        ant_ids: list[int] = []
+        cons_ids: list[int] = []
+        metrics: dict[str, list[float]] = {name: [] for name in _METRIC_FIELDS}
         for lineno, line in enumerate(lines[1:], start=2):
             record = _parse_json(line, path, lineno)
             if record.get("record") != "rule":
@@ -211,14 +286,49 @@ class RuleBook:
                     f"{path}:{lineno}: expected a rule record, got "
                     f"{record.get('record')!r}"
                 )
-            rules.append(_decode_rule(record, items, path, lineno))
-        if len(rules) != header.get("n_rules", len(rules)):
+            try:
+                # set-dedup tolerates repeated ids within a side, exactly
+                # like the frozenset decoding of earlier versions
+                ant = sorted({int(i) for i in record["antecedent_ids"]})
+                cons = sorted({int(i) for i in record["consequent_ids"]})
+                for i in ant + cons:
+                    if not 0 <= i < len(items):
+                        raise ValueError(f"item id {i} outside the header item table")
+                if not ant or not cons:
+                    raise ValueError("rule sides must be non-empty")
+                if set(ant) & set(cons):
+                    raise ValueError("antecedent and consequent must be disjoint")
+                row = {name: _dec_float(record[name]) for name in _METRIC_FIELDS}
+            except (KeyError, IndexError, TypeError, ValueError) as exc:
+                raise RuleBookSchemaError(
+                    f"{path}:{lineno}: bad rule record: {exc}"
+                ) from None
+            ant_ids.extend(ant)
+            cons_ids.extend(cons)
+            ant_indptr.append(len(ant_ids))
+            cons_indptr.append(len(cons_ids))
+            for name in _METRIC_FIELDS:
+                metrics[name].append(row[name])
+            n_rules += 1
+        if n_rules != header.get("n_rules", n_rules):
             raise RuleBookSchemaError(
                 f"{path}: header promises {header['n_rules']} rules, "
-                f"found {len(rules)} — truncated file?"
+                f"found {n_rules} — truncated file?"
             )
+        table = RuleTable(
+            ItemVocabulary(items),
+            ant_indptr,
+            ant_ids,
+            cons_indptr,
+            cons_ids,
+            metrics["support"],
+            metrics["confidence"],
+            metrics["lift"],
+            metrics["leverage"],
+            metrics["conviction"],
+        )
         return cls(
-            rules=tuple(rules),
+            table=table,
             trace=header.get("trace"),
             keywords=dict(header.get("keywords") or {}),
             config=None if config is None else MiningConfig(**config),
@@ -247,36 +357,58 @@ class RuleBook:
             parts.append(f"backend={self.backend}")
         return ", ".join(parts)
 
-def _rekey_rule(rule: AssociationRule, ids: dict[Item, int]) -> AssociationRule:
-    """Re-express a rule's id sets in the book's canonical id-space."""
-    antecedent_ids = frozenset(ids[item] for item in rule.antecedent)
-    consequent_ids = frozenset(ids[item] for item in rule.consequent)
-    if (
-        antecedent_ids == rule.antecedent_ids
-        and consequent_ids == rule.consequent_ids
-    ):
-        return rule
-    return AssociationRule(
-        antecedent=rule.antecedent,
-        consequent=rule.consequent,
-        antecedent_ids=antecedent_ids,
-        consequent_ids=consequent_ids,
-        support=rule.support,
-        confidence=rule.confidence,
-        lift=rule.lift,
-        leverage=rule.leverage,
-        conviction=rule.conviction,
+
+def _canonical_from_rules(rules: tuple[AssociationRule, ...]) -> RuleTable:
+    """Re-key rule objects into the dense sorted id-space, as a table."""
+    items = sorted({item for rule in rules for item in rule.items})
+    ids = {item: i for i, item in enumerate(items)}
+    ant_indptr = [0]
+    cons_indptr = [0]
+    ant_ids: list[int] = []
+    cons_ids: list[int] = []
+    metrics: dict[str, list[float]] = {name: [] for name in _METRIC_FIELDS}
+    for rule in rules:
+        ant_ids.extend(sorted(ids[item] for item in rule.antecedent))
+        cons_ids.extend(sorted(ids[item] for item in rule.consequent))
+        ant_indptr.append(len(ant_ids))
+        cons_indptr.append(len(cons_ids))
+        for name in _METRIC_FIELDS:
+            metrics[name].append(getattr(rule, name))
+    table = RuleTable(
+        ItemVocabulary(items),
+        ant_indptr,
+        ant_ids,
+        cons_indptr,
+        cons_ids,
+        metrics["support"],
+        metrics["confidence"],
+        metrics["lift"],
+        metrics["leverage"],
+        metrics["conviction"],
     )
+    return table.sort_canonical()
 
 
-def _rule_order(rule: AssociationRule) -> tuple:
-    return (
-        -rule.lift,
-        -rule.confidence,
-        -rule.support,
-        str(sorted(rule.antecedent)),
-        str(sorted(rule.consequent)),
-    )
+def _canonical_from_table(table: RuleTable) -> RuleTable:
+    """Remap a table into its own dense sorted id-space and sort it.
+
+    Only ids actually referenced by some rule survive into the book's
+    vocabulary — mining vocabularies carry every item of the trace, most
+    of which never reach a kept rule.
+    """
+    width = table.n_items
+    used = np.zeros(width, dtype=bool)
+    if table.ant_ids.size:
+        used[table.ant_ids] = True
+    if table.cons_ids.size:
+        used[table.cons_ids] = True
+    old_ids = np.flatnonzero(used)
+    pairs = sorted((table.vocabulary.item_of(int(i)), int(i)) for i in old_ids)
+    vocabulary = ItemVocabulary(item for item, _old in pairs)
+    mapping = np.full(width, -1, dtype=np.int64)
+    for new_id, (_item, old_id) in enumerate(pairs):
+        mapping[old_id] = new_id
+    return table.remap_ids(mapping, vocabulary).sort_canonical()
 
 
 def _parse_json(line: str, path, lineno: int) -> dict:
@@ -287,24 +419,3 @@ def _parse_json(line: str, path, lineno: int) -> dict:
     if not isinstance(record, dict):
         raise RuleBookSchemaError(f"{path}:{lineno}: record must be an object")
     return record
-
-
-def _decode_rule(
-    record: dict, items: list[Item], path, lineno: int
-) -> AssociationRule:
-    try:
-        antecedent_ids = frozenset(int(i) for i in record["antecedent_ids"])
-        consequent_ids = frozenset(int(i) for i in record["consequent_ids"])
-        for i in antecedent_ids | consequent_ids:
-            if not 0 <= i < len(items):
-                raise ValueError(f"item id {i} outside the header item table")
-        metrics = {name: _dec_float(record[name]) for name in _METRIC_FIELDS}
-        return AssociationRule(
-            antecedent=frozenset(items[i] for i in antecedent_ids),
-            consequent=frozenset(items[i] for i in consequent_ids),
-            antecedent_ids=antecedent_ids,
-            consequent_ids=consequent_ids,
-            **metrics,
-        )
-    except (KeyError, IndexError, TypeError, ValueError) as exc:
-        raise RuleBookSchemaError(f"{path}:{lineno}: bad rule record: {exc}") from None

@@ -1,0 +1,433 @@
+"""Tests for the columnar RuleTable pipeline.
+
+The contract under test: the vectorised generation and pruning kernels
+are *bit-identical* to the retained legacy object paths — same rules,
+same metric doubles, same deterministic order — on hand-built edge cases
+and at trace scale, and the table threads through the engine,
+persistence and serving layers without changing any observable result.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MiningConfig
+from repro.core.bitmap import kernel_delta, kernel_snapshot
+from repro.core.fpgrowth import fpgrowth
+from repro.core.items import Item, ItemVocabulary, as_item
+from repro.core.itemsets import FrequentItemsets
+from repro.core.mining import mine_keyword_rules
+from repro.core.pruning import (
+    CondenseConfig,
+    PruningConfig,
+    prune_rule_table,
+    prune_rules,
+    prune_rules_legacy,
+)
+from repro.core.rules import (
+    SKIPPED_KERNEL,
+    AssociationRule,
+    generate_rule_table,
+    generate_rules,
+    generate_rules_legacy,
+)
+from repro.core.ruletable import RuleTable
+from repro.engine import MiningEngine
+from repro.engine.stats import EngineStats
+from repro.serve import RuleBook, RuleIndex
+from repro.traces import PHILLY_KEYWORDS, SUPERCLOUD_KEYWORDS
+
+PAPER = MiningConfig()  # support=0.05, max_len=5, min_lift=1.5
+
+
+def itemsets_of(db, min_support=0.05, max_len=5) -> FrequentItemsets:
+    counts = fpgrowth(db, min_support, max_len)
+    return FrequentItemsets(dict(counts), db.vocabulary, len(db), min_support, max_len)
+
+
+def assert_tables_equal_rules(table: RuleTable, rules: list[AssociationRule]):
+    """Bit-exact: same rules, same metric doubles, same order."""
+    materialised = table.to_rules()
+    assert len(materialised) == len(rules)
+    for got, want in zip(materialised, rules):
+        assert got == want  # dataclass equality covers ids, items, metrics
+
+
+class TestKernelVsLegacy:
+    def test_toy_database_bit_identical(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=1.0)
+        legacy = generate_rules_legacy(its, min_lift=1.0)
+        assert len(table) > 0
+        assert_tables_equal_rules(table, legacy)
+        # the wrapper is the kernel's materialisation
+        assert generate_rules(its, min_lift=1.0) == legacy
+
+    def test_philly_full_table_bit_identical(self, philly_db):
+        its = itemsets_of(philly_db)
+        table = generate_rule_table(its, min_lift=PAPER.min_lift)
+        legacy = generate_rules_legacy(its, min_lift=PAPER.min_lift)
+        assert len(table) > 100
+        assert_tables_equal_rules(table, legacy)
+
+    def test_supercloud_full_table_bit_identical(self, supercloud_db):
+        its = itemsets_of(supercloud_db)
+        table = generate_rule_table(its, min_lift=PAPER.min_lift)
+        legacy = generate_rules_legacy(its, min_lift=PAPER.min_lift)
+        assert len(table) > 1000
+        assert_tables_equal_rules(table, legacy)
+
+    def test_pai_keyword_restricted_bit_identical(self, pai_db):
+        kw_id = pai_db.vocabulary.get_id(as_item("SM Util = 0%"))
+        assert kw_id is not None
+        its = itemsets_of(pai_db)
+        table = generate_rule_table(
+            its, min_lift=PAPER.min_lift, keyword_ids=(kw_id,)
+        )
+        legacy = generate_rules_legacy(
+            its, min_lift=PAPER.min_lift, keyword_ids=(kw_id,)
+        )
+        assert len(table) > 100
+        assert_tables_equal_rules(table, legacy)
+
+    def test_min_confidence_filter_agrees(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        for min_conf in (0.5, 0.75):
+            table = generate_rule_table(its, min_lift=0.0, min_confidence=min_conf)
+            legacy = generate_rules_legacy(its, min_lift=0.0, min_confidence=min_conf)
+            assert_tables_equal_rules(table, legacy)
+            assert all(r.confidence >= min_conf for r in table)
+
+    def test_min_confidence_one_keeps_exact_implications_only(self, toy_db):
+        # boundary: conf == 1.0 must survive a min_confidence of exactly 1.0
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=0.0, min_confidence=1.0)
+        legacy = generate_rules_legacy(its, min_lift=0.0, min_confidence=1.0)
+        assert_tables_equal_rules(table, legacy)
+        assert all(r.confidence == 1.0 for r in table)
+        assert all(math.isinf(r.conviction) for r in table)
+        assert len(table) > 0  # the toy basket does contain exact implications
+
+
+class TestPruneEquality:
+    def test_toy_three_paths_agree(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=1.0)
+        kw = as_item("beer")
+        kept_t, report_t = prune_rule_table(table, kw)
+        kept_o, report_o = prune_rules(table.to_rules(), kw)
+        kept_l, report_l = prune_rules_legacy(table.to_rules(), kw)
+        assert kept_t.to_rules() == kept_o == kept_l
+        assert (
+            report_t.pruned_by_condition
+            == report_o.pruned_by_condition
+            == report_l.pruned_by_condition
+        )
+        assert report_t.n_input == report_l.n_input
+        assert report_t.n_kept == report_l.n_kept
+
+    @pytest.mark.parametrize(
+        "db_fixture, keywords",
+        [
+            ("philly_db", PHILLY_KEYWORDS),
+            ("supercloud_db", SUPERCLOUD_KEYWORDS),
+        ],
+    )
+    def test_trace_pruning_bit_identical(self, request, db_fixture, keywords):
+        db = request.getfixturevalue(db_fixture)
+        its = itemsets_of(db)
+        n_checked = 0
+        for kw_text in keywords.values():
+            kw = as_item(kw_text)
+            kw_id = db.vocabulary.get_id(kw)
+            if kw_id is None:
+                continue
+            table = generate_rule_table(
+                its, min_lift=PAPER.min_lift, keyword_ids=(kw_id,)
+            )
+            kept_t, report_t = prune_rule_table(table, kw)
+            kept_l, report_l = prune_rules_legacy(table.to_rules(), kw)
+            assert kept_t.to_rules() == kept_l
+            assert report_t.pruned_by_condition == report_l.pruned_by_condition
+            n_checked += 1
+        assert n_checked >= 2  # the paper keywords must actually exist
+
+
+class TestEdgeCases:
+    def test_empty_itemset_table(self):
+        vocab = ItemVocabulary([Item("f", "a"), Item("f", "b")])
+        its = FrequentItemsets({}, vocab, 10, 0.05, 5)
+        table = generate_rule_table(its)
+        assert len(table) == 0
+        assert table.to_rules() == []
+        assert generate_rules_legacy(its) == []
+        # pruning an empty table is a no-op, not an error
+        kept, report = prune_rule_table(table, "f = a")
+        assert len(kept) == 0 and report.n_input == 0
+
+    def test_single_item_itemsets_yield_no_rules(self):
+        vocab = ItemVocabulary([Item("f", "a"), Item("f", "b")])
+        its = FrequentItemsets(
+            {frozenset({0}): 8, frozenset({1}): 6}, vocab, 10, 0.05, 5
+        )
+        table = generate_rule_table(its)
+        assert len(table) == 0
+        assert generate_rules_legacy(its) == []
+
+    def test_absent_keyword_prunes_to_empty(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=1.0)
+        kept, report = prune_rule_table(table, "Never = Seen")
+        assert len(kept) == 0
+        assert report.n_input == 0 and report.n_kept == 0
+
+    def test_son_incomplete_table_counts_skips(self):
+        # SON-style partial tables can hold a superset without a subset;
+        # every candidate split losing a support lookup must be counted,
+        # not silently dropped (the old behaviour)
+        vocab = ItemVocabulary([Item("f", "a"), Item("f", "b")])
+        counts = {frozenset({0, 1}): 5, frozenset({0}): 8}  # {1} missing
+        its = FrequentItemsets(counts, vocab, 10, 0.05, 5)
+        before = kernel_snapshot()
+        table = generate_rule_table(its, min_lift=0.0)
+        delta = dict(
+            (name, calls) for name, _s, calls in kernel_delta(before, kernel_snapshot())
+        )
+        assert len(table) == 0
+        assert table.n_skipped_lookups == 2  # both splits of {a, b} dropped
+        assert delta.get(SKIPPED_KERNEL) == 2
+
+        before = kernel_snapshot()
+        assert generate_rules_legacy(its, min_lift=0.0) == []
+        delta = dict(
+            (name, calls) for name, _s, calls in kernel_delta(before, kernel_snapshot())
+        )
+        assert delta.get(SKIPPED_KERNEL) == 2
+
+    def test_wide_id_space_uses_dict_fallback(self):
+        # bits-per-id × max itemset length > 64 forces the dict-probe
+        # enumeration; answers must not depend on the lookup strategy
+        n_items = 300  # 9 bits per id
+        vocab = ItemVocabulary(Item("f", str(i)) for i in range(n_items))
+        base = (0, 37, 99, 150, 201, 255, 280, 299)  # length 8 → 72 bits
+        rng = random.Random(5)
+        counts: dict[frozenset[int], int] = {frozenset(base): 5}
+        # every subset present, with supports monotone in size
+        for size in range(1, len(base)):
+            for _ in range(40):
+                subset = frozenset(rng.sample(base, size))
+                counts.setdefault(subset, 5 + (len(base) - size) * 7)
+        for item in base:
+            counts[frozenset({item})] = 60
+        its = FrequentItemsets(counts, vocab, 100, 0.01, len(base))
+        table = generate_rule_table(its, min_lift=0.0)
+        legacy = generate_rules_legacy(its, min_lift=0.0)
+        assert_tables_equal_rules(table, legacy)
+        # incomplete subsets above were possible: skips must agree too
+        assert table.n_skipped_lookups >= 0
+
+
+class TestRoundTripProperty:
+    @staticmethod
+    def _random_rules(rng: random.Random, n_rules: int, n_items: int = 12):
+        """(vocabulary, rules) with rule ids minted by that vocabulary."""
+        vocab = ItemVocabulary(Item(f"F{k % 3}", f"v{k}") for k in range(n_items))
+        rules = []
+        for _ in range(n_rules):
+            size = rng.randint(2, 5)
+            ids = rng.sample(range(n_items), size)
+            cut = rng.randint(1, size - 1)
+            ant, cons = frozenset(ids[:cut]), frozenset(ids[cut:])
+            rules.append(
+                AssociationRule(
+                    antecedent=vocab.items_of(ant),
+                    consequent=vocab.items_of(cons),
+                    antecedent_ids=ant,
+                    consequent_ids=cons,
+                    support=rng.random(),
+                    confidence=rng.random(),
+                    lift=rng.random() * 10,
+                    leverage=rng.random() - 0.5,
+                    conviction=math.inf if rng.random() < 0.2 else rng.random() * 5,
+                )
+            )
+        return vocab, rules
+
+    @given(seed=st.integers(0, 2**31), n_rules=st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_from_rules_to_rules_round_trip(self, seed, n_rules):
+        vocab, rules = self._random_rules(random.Random(seed), n_rules)
+        table = RuleTable.from_rules(rules, vocabulary=vocab)
+        assert table.to_rules() == rules  # order and every field preserved
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_select_concat_consistency(self, seed):
+        rng = random.Random(seed)
+        vocab, rules = self._random_rules(rng, 20)
+        table = RuleTable.from_rules(rules, vocabulary=vocab)
+        cut = rng.randint(0, len(rules))
+        left = table.select(np.arange(cut))
+        right = table.select(np.arange(cut, len(rules)))
+        rejoined = RuleTable.concat([left, right])
+        assert rejoined.to_rules() == rules
+        # canonical sort is idempotent and a permutation
+        once = table.sort_canonical()
+        assert sorted(once.rule_keys()) == sorted(table.rule_keys())
+        assert once.sort_canonical().to_rules() == once.to_rules()
+
+
+class TestCondensation:
+    def test_condense_config_validation(self):
+        with pytest.raises(ValueError):
+            CondenseConfig(min_kulczynski=-0.1)
+        with pytest.raises(ValueError):
+            CondenseConfig(max_imbalance=1.5)
+        with pytest.raises(ValueError):
+            CondenseConfig(min_jaccard=0.0)
+
+    def test_condense_off_by_default(self, pai_db):
+        kw = as_item("SM Util = 0%")
+        kw_id = pai_db.vocabulary.get_id(kw)
+        its = itemsets_of(pai_db)
+        table = generate_rule_table(
+            its, min_lift=PAPER.min_lift, keyword_ids=(kw_id,)
+        )
+        kept_plain, report_plain = prune_rule_table(table, kw)
+        kept_default, report_default = prune_rule_table(table, kw, condense=False)
+        assert kept_plain.to_rules() == kept_default.to_rules()
+        assert 5 not in report_plain.pruned_by_condition
+        assert 6 not in report_plain.pruned_by_condition
+
+    def test_condensed_rulebook_shrinks_serving_index(self, pai_db):
+        kw = as_item("SM Util = 0%")
+        kw_id = pai_db.vocabulary.get_id(kw)
+        its = itemsets_of(pai_db)
+        table = generate_rule_table(
+            its, min_lift=PAPER.min_lift, keyword_ids=(kw_id,)
+        )
+        kept, _ = prune_rule_table(table, kw)
+        aggressive = CondenseConfig(
+            min_kulczynski=0.4, max_imbalance=0.9, min_jaccard=0.3
+        )
+        condensed, report = prune_rule_table(
+            table, kw, condense=True, condense_config=aggressive
+        )
+        assert len(condensed) < len(kept)
+        assert (
+            report.pruned_by_condition.get(5, 0)
+            + report.pruned_by_condition.get(6, 0)
+            == len(kept) - len(condensed)
+        )
+        # condensation only ever removes rules, never rewrites them
+        assert set(condensed.rule_keys()) <= set(kept.rule_keys())
+
+        index_full = RuleIndex.from_rulebook(RuleBook(table=kept))
+        index_condensed = RuleIndex.from_rulebook(RuleBook(table=condensed))
+        assert len(index_condensed) < len(index_full)
+        assert index_condensed.n_postings < index_full.n_postings
+
+    def test_object_wrapper_condense_agrees(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=1.0)
+        cfg = CondenseConfig(min_kulczynski=0.4, max_imbalance=0.9, min_jaccard=0.3)
+        kept_t, report_t = prune_rule_table(
+            table, "beer", condense=True, condense_config=cfg
+        )
+        kept_o, report_o = prune_rules(
+            table.to_rules(), "beer", condense=True, condense_config=cfg
+        )
+        assert kept_t.to_rules() == kept_o
+        assert report_t.pruned_by_condition == report_o.pruned_by_condition
+
+
+class TestEngineThreading:
+    def test_analyze_populates_rule_table_and_kernel_split(self, supercloud_table):
+        from repro.traces import supercloud_preprocessor
+
+        engine = MiningEngine(backend="serial", cache=False)
+        result = engine.analyze(
+            supercloud_preprocessor(),
+            supercloud_table,
+            {"underutil": "SM Util = 0%", "failure": "Failed"},
+        )
+        table = result.rule_table
+        assert isinstance(table, RuleTable)
+        union_keys = set()
+        for ruleset in result.keyword_results.values():
+            assert ruleset.table is not None
+            assert len(ruleset.table) == len(ruleset)
+            union_keys |= set(ruleset.table.rule_keys())
+        # book-keeping: the result table is the dedup union of kept tables
+        assert set(table.rule_keys()) == union_keys
+        assert len(table) == len(union_keys)
+
+        stats = result.stats
+        assert stats.rules_skipped == 0
+        assert stats.as_dict()["rules_skipped"] == 0
+        generate_kernels = {k[0] for k in stats.stage("generate-rules").kernels}
+        prune_kernels = {k[0] for k in stats.stage("prune").kernels}
+        assert "rules-enumerate" in generate_kernels
+        assert "rules-score" in generate_kernels
+        assert "prune-masks" in prune_kernels
+        assert not any(name.startswith("prune-") for name in generate_kernels)
+        assert all(name.startswith("prune-") for name in prune_kernels)
+
+    def test_stats_render_warns_on_skips(self):
+        stats = EngineStats(backend="serial", rules_skipped=3)
+        assert "3 candidate split(s) skipped" in stats.render()
+        clean = EngineStats(backend="serial")
+        assert "skipped" not in clean.render()
+
+    def test_mine_keyword_rules_carries_table(self, toy_db):
+        ruleset = mine_keyword_rules(
+            toy_db, "beer", MiningConfig(min_support=0.2, max_len=4, min_lift=1.0)
+        )
+        assert ruleset.table is not None
+        assert len(ruleset.table) == len(ruleset)
+        assert set(ruleset.table.to_rules()) == set(ruleset.all_rules)
+
+
+class TestRuleBookColumnar:
+    def test_table_and_object_books_are_byte_identical(self, toy_db, tmp_path):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        table = generate_rule_table(its, min_lift=1.0)
+        book_from_table = RuleBook(table=table, trace="toy")
+        book_from_objects = RuleBook(rules=tuple(table.to_rules()), trace="toy")
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        book_from_table.save(a)
+        book_from_objects.save(b)
+        assert a.read_bytes() == b.read_bytes()
+        # and load → save is byte-stable on top
+        c = tmp_path / "c.jsonl"
+        RuleBook.load(a).save(c)
+        assert c.read_bytes() == a.read_bytes()
+
+    def test_book_table_is_dense_and_canonical(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        book = RuleBook(table=generate_rule_table(its, min_lift=1.0))
+        table = book.table
+        items = list(book.vocabulary())
+        assert items == sorted(items)  # canonical id-space: sorted, dense
+        used = set(table.ant_ids.tolist()) | set(table.cons_ids.tolist())
+        assert used == set(range(len(items)))
+        order = table.canonical_order()
+        assert np.array_equal(order, np.arange(len(table)))
+
+    def test_index_from_table_matches_index_from_objects(self, toy_db):
+        its = itemsets_of(toy_db, min_support=0.2, max_len=4)
+        book = RuleBook(table=generate_rule_table(its, min_lift=1.0))
+        via_table = RuleIndex.from_rulebook(book)
+        via_objects = RuleIndex(book.rules)
+        assert via_table._wire == via_objects._wire
+        transaction = ["bread", "milk", "diapers", "beer"]
+        assert [m.rule_id for m in via_table.match(transaction)] == [
+            m.rule_id for m in via_objects.match(transaction)
+        ]
+        assert via_table.match_wire(transaction) == via_objects.match_wire(transaction)
