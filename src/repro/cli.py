@@ -20,8 +20,13 @@ Subcommands::
     python -m repro mine-rulebook --trace pai --output pai.rulebook.jsonl
         run the analysis and persist the kept rules as a RuleBook
 
-    python -m repro serve --rulebook pai.rulebook.jsonl --port 7317
-        serve the RuleBook online (newline-delimited JSON over TCP)
+    python -m repro serve --rulebook pai.rulebook.jsonl --port 7317 \
+            [--shards 4 --lb-policy least_loaded]
+        serve the RuleBook online (newline-delimited JSON over TCP);
+        --shards > 1 runs N worker processes behind a balancing router
+
+    python -m repro reload-rulebook --rulebook new.jsonl --port 7317
+        zero-downtime hot-swap of a running service's rulebook
 
     python -m repro match --rulebook pai.rulebook.jsonl --trace pai --input jobs.csv
         offline batch matching of a job table through the serving index
@@ -96,10 +101,37 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--rulebook", required=True, help="RuleBook path to load")
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=7317)
+    srv.add_argument("--shards", type=int, default=1,
+                     help="worker processes; >1 runs a sharded cluster")
+    srv.add_argument("--shard-mode", choices=["router", "reuseport"],
+                     default="router",
+                     help="asyncio front-end router, or kernel-balanced "
+                          "SO_REUSEPORT workers (Linux)")
+    srv.add_argument("--lb-policy", default="round_robin",
+                     help="router load-balancing policy "
+                          "(see repro.serve.lb.LB_POLICIES)")
+    srv.add_argument("--request-timeout", type=float, default=30.0,
+                     help="router-side per-request shard timeout, seconds")
     srv.add_argument("--max-queue", type=int, default=1024,
                      help="bounded request queue (backpressure beyond this)")
     srv.add_argument("--max-batch", type=int, default=64,
                      help="micro-batch size per scheduler wakeup")
+
+    rel = sub.add_parser(
+        "reload-rulebook",
+        help="hot-swap the rulebook of a running service/router/cluster",
+    )
+    rel.add_argument("--rulebook", required=True,
+                     help="new RuleBook path (read by the serving processes)")
+    rel.add_argument("--host", default="127.0.0.1")
+    rel.add_argument("--port", type=int, action="append", required=True,
+                     help="service, router, or worker control port; repeat "
+                          "for reuseport clusters (rolling reload)")
+    rel.add_argument("--version", type=int, default=None,
+                     help="explicit version number (default: current + 1)")
+    rel.add_argument("--version-tag", default=None,
+                     help="tag stamped on post-flip responses "
+                          "(default: the new book's fingerprint)")
 
     mat = sub.add_parser(
         "match", help="batch-match a job table through the serving index"
@@ -263,7 +295,31 @@ def cmd_serve(args: argparse.Namespace) -> str:
 
     from .serve import RuleBook, RuleService
 
-    book = RuleBook.load(args.rulebook)
+    if args.shards < 1:
+        raise ValueError("--shards must be >= 1")
+    book = RuleBook.load(args.rulebook)  # fail fast on a bad book
+    if args.shards > 1:
+        from .serve.shard import ShardCluster, run_cluster
+
+        cluster = ShardCluster(
+            args.rulebook,
+            args.shards,
+            mode=args.shard_mode,
+            host=args.host,
+            port=args.port,
+            lb_policy=args.lb_policy,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            request_timeout_s=args.request_timeout,
+        )
+        print(
+            f"serving {book.provenance()}\n"
+            f"{args.shards} shards ({args.shard_mode} mode) — "
+            f"SIGTERM/Ctrl-C drains and exits",
+            flush=True,
+        )
+        asyncio.run(run_cluster(cluster))
+        return "cluster drained and stopped"
     service = RuleService.from_rulebook(
         book, max_queue=args.max_queue, max_batch=args.max_batch
     )
@@ -281,6 +337,35 @@ def cmd_serve(args: argparse.Namespace) -> str:
         f"{metrics.n_matched} matches, {metrics.n_rejected} rejected, "
         f"p99 latency {metrics.latency.quantile(0.99) * 1e3:.2f}ms"
     )
+
+
+def cmd_reload_rulebook(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from .serve import RuleBook
+    from .serve.shard import broadcast_reload
+
+    book = RuleBook.load(args.rulebook)  # validate before telling the fleet
+    result = asyncio.run(
+        broadcast_reload(
+            args.host,
+            args.port,
+            args.rulebook,
+            version=args.version,
+            version_tag=args.version_tag,
+        )
+    )
+    lines = [
+        f"reload {result['status']}: version={result['version']} "
+        f"tag={result['version_tag'] or book.fingerprint} "
+        f"n_rules={result['n_rules']}"
+    ]
+    for endpoint in result["endpoints"]:
+        status = "ok" if endpoint["ok"] else f"FAILED ({endpoint.get('error')})"
+        lines.append(f"  port {endpoint['port']}: {status}")
+    if result["status"] != "ok":
+        raise ValueError("\n".join(lines))
+    return "\n".join(lines)
 
 
 def cmd_match(args: argparse.Namespace) -> str:
@@ -366,6 +451,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "mine-rulebook": cmd_mine_rulebook,
     "serve": cmd_serve,
+    "reload-rulebook": cmd_reload_rulebook,
     "match": cmd_match,
     "casestudy": cmd_casestudy,
     "stats": cmd_stats,

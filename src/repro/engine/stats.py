@@ -18,6 +18,7 @@ __all__ = [
     "EngineStats",
     "StageTimer",
     "LatencyHistogram",
+    "aggregate_shard_metrics",
     "CACHE_STATES",
 ]
 
@@ -154,7 +155,17 @@ class LatencyHistogram:
     rule-serving subsystem (:mod:`repro.serve.service`).
     """
 
-    __slots__ = ("_bounds", "_counts", "_count", "_sum", "_min", "_max")
+    __slots__ = (
+        "_bounds",
+        "_counts",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+        "_min_seconds",
+        "_max_seconds",
+        "_growth",
+    )
 
     def __init__(
         self,
@@ -166,6 +177,9 @@ class LatencyHistogram:
             raise ValueError("need 0 < min_seconds < max_seconds")
         if growth <= 1.0:
             raise ValueError("growth must be > 1")
+        self._min_seconds = min_seconds
+        self._max_seconds = max_seconds
+        self._growth = growth
         bounds = [min_seconds]
         while bounds[-1] < max_seconds:
             bounds.append(bounds[-1] * growth)
@@ -233,6 +247,74 @@ class LatencyHistogram:
             "p99_s": self.quantile(0.99),
         }
 
+    # -- cross-process state -----------------------------------------------------
+    # The serving layer runs one process per shard; each shard reports its
+    # histogram as raw bucket counts (state_dict) and the router rebuilds
+    # and merges them (from_state + merge).  Merging bucket counts is
+    # exact — unlike averaging per-shard quantiles, which is wrong for
+    # any skewed distribution — provided every histogram uses identical
+    # bucket geometry, which the constructor parameters pin down.
+
+    def state_dict(self) -> dict:
+        """JSON-safe full state: bucket geometry plus raw counts."""
+        return {
+            "min_seconds": self._min_seconds,
+            "max_seconds": self._max_seconds,
+            "growth": self._growth,
+            "counts": list(self._counts),
+            "count": self._count,
+            "sum_s": self._sum,
+            "min_s": None if self._count == 0 else self._min,
+            "max_s": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`state_dict` output."""
+        hist = cls(
+            min_seconds=state["min_seconds"],
+            max_seconds=state["max_seconds"],
+            growth=state["growth"],
+        )
+        counts = list(state["counts"])
+        if len(counts) != len(hist._counts):
+            raise ValueError(
+                f"bucket count mismatch: state has {len(counts)}, "
+                f"geometry implies {len(hist._counts)}"
+            )
+        hist._counts = counts
+        hist._count = int(state["count"])
+        hist._sum = float(state["sum_s"])
+        min_s = state["min_s"]
+        hist._min = math.inf if min_s is None else float(min_s)
+        hist._max = float(state["max_s"])
+        return hist
+
+    def merge(self, other: "LatencyHistogram | dict") -> "LatencyHistogram":
+        """Fold *other*'s samples into this histogram (exact; in place).
+
+        Accepts another histogram or a :meth:`state_dict` payload.
+        Raises :class:`ValueError` if the bucket geometries differ —
+        counts from differently shaped histograms are not comparable.
+        """
+        if isinstance(other, dict):
+            other = LatencyHistogram.from_state(other)
+        if (
+            other._min_seconds != self._min_seconds
+            or other._max_seconds != self._max_seconds
+            or other._growth != self._growth
+        ):
+            raise ValueError(
+                "cannot merge histograms with different bucket geometry"
+            )
+        for i, count in enumerate(other._counts):
+            self._counts[i] += count
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
 
 class StageTimer:
     """Context manager measuring one stage's wall time.
@@ -253,3 +335,42 @@ class StageTimer:
 
     def __exit__(self, *exc) -> None:
         self.seconds = time.perf_counter() - self._start
+
+
+def aggregate_shard_metrics(shard_metrics: list[dict]) -> dict:
+    """Merge per-shard serving ``metrics`` payloads into a cluster view.
+
+    Input dicts are what one :class:`~repro.serve.service.RuleService`
+    answers to a ``metrics`` request: request counters under
+    ``requests``, per-rule fire counts under ``rule_matches``, and the
+    latency histogram both summarised (``latency``) and as raw state
+    (``latency_state``).  Counters and rule counts sum; latency merges
+    at the bucket level, so the aggregate p99 is the true cluster p99,
+    not an average of per-shard p99s; ``uptime_s`` is the oldest
+    shard's (the cluster has been serving at least that long);
+    ``queue_depth`` sums (total queued work across the cluster).
+    """
+    merged_latency = LatencyHistogram()
+    requests: dict[str, int] = {}
+    rule_matches: dict[str, int] = {}
+    uptime_s = 0.0
+    queue_depth = 0
+    for metrics in shard_metrics:
+        state = metrics.get("latency_state")
+        if state:
+            merged_latency.merge(state)
+        for key, value in (metrics.get("requests") or {}).items():
+            requests[key] = requests.get(key, 0) + int(value)
+        for label, count in (metrics.get("rule_matches") or {}).items():
+            rule_matches[label] = rule_matches.get(label, 0) + int(count)
+        uptime_s = max(uptime_s, float(metrics.get("uptime_s") or 0.0))
+        queue_depth += int(metrics.get("queue_depth") or 0)
+    return {
+        "n_shards": len(shard_metrics),
+        "uptime_s": uptime_s,
+        "queue_depth": queue_depth,
+        "latency": merged_latency.as_dict(),
+        "latency_state": merged_latency.state_dict(),
+        "requests": requests,
+        "rule_matches": dict(sorted(rule_matches.items())),
+    }

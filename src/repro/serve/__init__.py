@@ -11,12 +11,18 @@ package is what turns that artefact into an operator-facing capability:
   to the job, not the book;
 * :mod:`repro.serve.service` — :class:`RuleService`, an asyncio TCP
   service (newline-delimited JSON) with micro-batching, bounded-queue
-  backpressure and graceful drain;
-* :mod:`repro.serve.client` — :class:`RuleServiceClient` plus the
-  trace-replay load generator used by ``benchmarks/bench_serve_throughput``.
+  backpressure, zero-downtime rulebook hot-swap and graceful drain;
+* :mod:`repro.serve.router` / :mod:`repro.serve.shard` /
+  :mod:`repro.serve.lb` — horizontal scale-out: N shard worker
+  processes behind a load-balancing front-end router (or kernel-balanced
+  ``SO_REUSEPORT`` sockets), with rolling cluster-wide hot-swap;
+* :mod:`repro.serve.client` — :class:`RuleServiceClient` (with built-in
+  backpressure backoff) plus the trace-replay load generators used by
+  ``benchmarks/bench_serve_throughput``.
 
-CLI entry points: ``repro mine-rulebook``, ``repro serve``, ``repro
-match`` (see DESIGN.md §7).
+CLI entry points: ``repro mine-rulebook``, ``repro serve`` (optionally
+``--shards N``), ``repro reload-rulebook``, ``repro match`` (see
+DESIGN.md §7 and §11).
 """
 
 from .client import (
@@ -24,11 +30,15 @@ from .client import (
     RuleServiceClient,
     ServiceError,
     replay_traffic,
+    replay_traffic_multiprocess,
     trace_transactions,
 )
 from .index import Match, NearMiss, RuleIndex
+from .lb import LB_POLICIES, LBPolicy, get_policy, register_policy
+from .router import ShardDown, ShardHandle, ShardRouter
 from .rulebook import SCHEMA_VERSION, RuleBook, RuleBookSchemaError
 from .service import RuleService, ServiceMetrics
+from .shard import ShardCluster, ShardProcess, broadcast_reload
 
 __all__ = [
     "RuleBook",
@@ -43,5 +53,16 @@ __all__ = [
     "ServiceError",
     "ReplayStats",
     "replay_traffic",
+    "replay_traffic_multiprocess",
     "trace_transactions",
+    "LBPolicy",
+    "LB_POLICIES",
+    "get_policy",
+    "register_policy",
+    "ShardDown",
+    "ShardHandle",
+    "ShardRouter",
+    "ShardCluster",
+    "ShardProcess",
+    "broadcast_reload",
 ]

@@ -1,0 +1,12 @@
+"""Entry shim for shard worker subprocesses.
+
+``python -m repro.serve.shard`` would re-execute a module that
+``repro.serve.__init__`` already imported (runpy's double-import
+warning); this module exists only to be ``-m``-run and is imported by
+nothing else.
+"""
+
+from .shard import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

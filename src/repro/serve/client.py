@@ -24,6 +24,7 @@ __all__ = [
     "trace_transactions",
     "ReplayStats",
     "replay_traffic",
+    "replay_traffic_multiprocess",
 ]
 
 
@@ -46,19 +47,50 @@ class RuleServiceClient:
     before draining their responses with :meth:`receive` (answers come
     back in request order), which is how :func:`replay_traffic` keeps the
     service's batcher saturated.
+
+    Backpressure is handled *inside* :meth:`request`: a retriable
+    rejection (``overloaded``, or any error carrying a ``retry_after``
+    hint, such as the router's ``shard_timeout``) is retried with
+    bounded exponential backoff — the hint doubled per attempt, capped
+    at *backoff_cap_s*, at most *max_retries* times — instead of
+    surfacing to the caller.  Callers only see :class:`ServiceError`
+    for terminal errors or once the retry budget is exhausted; pass
+    ``max_retries=0`` to observe rejections directly.
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_retries: int = 8,
+        backoff_cap_s: float = 1.0,
+    ):
         self._reader = reader
         self._writer = writer
         self._next_id = 0
+        self.max_retries = max_retries
+        self.backoff_cap_s = backoff_cap_s
+        self.n_retried = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "RuleServiceClient":
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_retries: int = 8,
+        backoff_cap_s: float = 1.0,
+    ) -> "RuleServiceClient":
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            max_retries=max_retries,
+            backoff_cap_s=backoff_cap_s,
+        )
 
     async def close(self) -> None:
         self._writer.close()
@@ -95,16 +127,34 @@ class RuleServiceClient:
         return json.loads(line)
 
     async def request(self, payload: dict) -> dict:
-        """Send one request object, await its response object."""
-        await self.send(payload)
-        response = await self.receive()
-        if response.get("type") == "error":
-            raise ServiceError(
-                response.get("error", "unknown"),
-                response.get("detail", ""),
-                response.get("retry_after"),
+        """Send one request object, await its response object.
+
+        Retriable rejections are absorbed by backoff-and-resend (see
+        the class docstring); anything else raises :class:`ServiceError`.
+        """
+        attempt = 0
+        while True:
+            await self.send(payload)
+            response = await self.receive()
+            if response.get("type") != "error":
+                return response
+            retry_after = response.get("retry_after")
+            retriable = (
+                response.get("error") == "overloaded"
+                or retry_after is not None
             )
-        return response
+            if not retriable or attempt >= self.max_retries:
+                raise ServiceError(
+                    response.get("error", "unknown"),
+                    response.get("detail", ""),
+                    retry_after,
+                )
+            self.n_retried += 1
+            delay = min(
+                (retry_after or 0.01) * (2**attempt), self.backoff_cap_s
+            )
+            attempt += 1
+            await asyncio.sleep(delay)
 
     async def match(
         self, transaction: list[str], explain: bool = False
@@ -201,10 +251,11 @@ async def replay_traffic(
                 response = await client.receive()
                 transaction, attempts = inflight.pop(response.get("id"))
                 if response.get("type") == "error":
-                    if (
+                    retriable = (
                         response.get("error") == "overloaded"
-                        and attempts < max_retries
-                    ):
+                        or response.get("retry_after") is not None
+                    )
+                    if retriable and attempts < max_retries:
                         stats.n_retried += 1
                         await asyncio.sleep(response.get("retry_after") or 0.01)
                         todo.appendleft((transaction, attempts + 1))
@@ -222,5 +273,104 @@ async def replay_traffic(
     shards = [transactions[i::concurrency] for i in range(concurrency)]
     started = time.perf_counter()
     await asyncio.gather(*(worker(shard) for shard in shards if shard))
+    stats.seconds = time.perf_counter() - started
+    return stats
+
+
+def _replay_in_process(
+    host: str,
+    port: int,
+    transactions: list[list[str]],
+    concurrency: int,
+    window: int,
+    max_retries: int,
+) -> dict:
+    """Child-process entry for :func:`replay_traffic_multiprocess`."""
+    stats = asyncio.run(
+        replay_traffic(
+            host,
+            port,
+            transactions,
+            concurrency=concurrency,
+            window=window,
+            max_retries=max_retries,
+        )
+    )
+    return {
+        "n_requests": stats.n_requests,
+        "n_fired": stats.n_fired,
+        "n_retried": stats.n_retried,
+        "n_failed": stats.n_failed,
+        "fired_rules": stats.fired_rules,
+    }
+
+
+def replay_traffic_multiprocess(
+    host: str,
+    port: int,
+    transactions: list[list[str]],
+    *,
+    processes: int = 2,
+    concurrency: int = 8,
+    window: int = 32,
+    max_retries: int = 20,
+) -> ReplayStats:
+    """Saturation load generation: :func:`replay_traffic` across processes.
+
+    A single asyncio load generator tops out on its own core well before
+    a multi-shard service does, which would make the generator — not the
+    cluster — the thing a benchmark measures.  This splits the jobs over
+    *processes* worker processes, each running its own event loop, and
+    merges the stats; ``seconds`` is the parent's wall clock around the
+    whole fan-out.  Synchronous by design (benchmarks call it from plain
+    code while the cluster runs in separate processes).
+    """
+    if processes <= 1:
+        return asyncio.run(
+            replay_traffic(
+                host,
+                port,
+                transactions,
+                concurrency=concurrency,
+                window=window,
+                max_retries=max_retries,
+            )
+        )
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = [transactions[i::processes] for i in range(processes)]
+    stats = ReplayStats()
+    started = time.perf_counter()
+    # spawn, not fork: the caller may hold a live event loop (the bench
+    # drives a cluster on the main thread while this runs in a worker
+    # thread), and forking a threaded asyncio process is unsafe
+    with ProcessPoolExecutor(
+        max_workers=processes,
+        mp_context=multiprocessing.get_context("spawn"),
+    ) as pool:
+        futures = [
+            pool.submit(
+                _replay_in_process,
+                host,
+                port,
+                shard,
+                concurrency,
+                window,
+                max_retries,
+            )
+            for shard in shards
+            if shard
+        ]
+        for future in futures:
+            part = future.result()
+            stats.n_requests += part["n_requests"]
+            stats.n_fired += part["n_fired"]
+            stats.n_retried += part["n_retried"]
+            stats.n_failed += part["n_failed"]
+            for rule_id, count in part["fired_rules"].items():
+                stats.fired_rules[rule_id] = (
+                    stats.fired_rules.get(rule_id, 0) + count
+                )
     stats.seconds = time.perf_counter() - started
     return stats

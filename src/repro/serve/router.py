@@ -1,0 +1,595 @@
+"""Front-end router: one public endpoint over N rule-serving shards.
+
+The router speaks the exact NDJSON protocol of
+:mod:`repro.serve.service` to clients and holds one pipelined upstream
+connection per shard.  ``match`` requests are forwarded *verbatim*
+(bytes in, bytes out — the shard echoes the client's request id, so no
+re-encoding happens on the hot path) to a shard picked by the configured
+load-balancing policy (:mod:`repro.serve.lb`); control requests are
+aggregated:
+
+* ``healthz`` — router-level status (``ok``/``degraded``/
+  ``unavailable``) plus per-shard health, in-flight counts and EWMA
+  latencies, augmented with rule count/version probed from a live shard;
+* ``metrics`` — per-shard metrics fanned out and merged through
+  :func:`repro.engine.stats.aggregate_shard_metrics` (true histogram
+  merging, not quantile averaging), plus router-side routing counters;
+* ``reload`` — rolling hot-swap: shards flip one at a time with an
+  explicit shared version number, so the cluster keeps serving
+  throughout and every post-flip response carries the same new tag.
+
+Failure semantics, which the chaos tests pin down:
+
+* a shard that dies mid-request fails its pending forwards with
+  :class:`ShardDown`; matching is a read-only idempotent operation, so
+  the router transparently retries each one on another healthy shard —
+  clients never see a vanished replica unless *no* shard remains;
+* a shard that stalls (alive but silent) trips the per-request timeout;
+  the client gets a well-formed retriable error and, because pending
+  count on the stalled shard keeps growing, ``least_loaded`` and
+  ``latency_weighted`` steer subsequent traffic away from it;
+* when no healthy shard can take a request the router sheds load
+  exactly like a single service does: ``overloaded`` + ``retry_after``.
+
+Order preservation: responses to one client connection return in that
+connection's request order (the same future-queue machinery the service
+uses), even though requests fan out to different shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import json
+import time
+from typing import Iterable, Sequence
+
+from ..engine.stats import LatencyHistogram, aggregate_shard_metrics
+from .lb import LBPolicy, get_policy
+from .service import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    _encode,
+    _error,
+    _error_line,
+    run_ndjson_connection,
+)
+
+__all__ = ["ShardDown", "ShardHandle", "ShardRouter"]
+
+#: EWMA smoothing for per-shard latency (fraction given to the newest sample)
+EWMA_ALPHA = 0.2
+
+#: reconnect backoff bounds, seconds
+RECONNECT_MIN_S = 0.05
+RECONNECT_MAX_S = 2.0
+
+
+class ShardDown(ConnectionError):
+    """The upstream shard connection died with this request pending."""
+
+
+class ShardHandle:
+    """One upstream shard: a supervised, pipelined connection + signals.
+
+    The handle owns a supervisor task that dials the shard, runs a
+    FIFO reader (the shard answers a connection's requests in order),
+    and on disconnection fails all pending requests with
+    :class:`ShardDown` before redialing with exponential backoff.  The
+    load signals the LB policies consume — ``inflight`` and
+    ``ewma_latency_s`` — are maintained here, next to the socket that
+    defines them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        *,
+        pid: int | None = None,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.pid = pid
+        self.healthy = False
+        self.inflight = 0
+        self.ewma_latency_s = 0.0
+        self.latency = LatencyHistogram()
+        self.n_answered = 0
+        self.n_conn_failures = 0
+        self.n_timeouts = 0
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: collections.deque | None = None
+        self._supervisor: asyncio.Task | None = None
+        self._closed = False
+
+    def __repr__(self) -> str:
+        state = "up" if self.healthy else "down"
+        return (
+            f"ShardHandle({self.name} {self.host}:{self.port} {state} "
+            f"inflight={self.inflight})"
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Begin supervising the upstream connection (idempotent)."""
+        if self._supervisor is None or self._supervisor.done():
+            self._closed = False
+            self._supervisor = asyncio.create_task(self._supervise())
+
+    async def close(self) -> None:
+        self._closed = True
+        self.healthy = False
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                pass
+            self._supervisor = None
+        self._teardown()
+
+    async def wait_healthy(self, timeout: float) -> bool:
+        """Poll until the shard connection is up (or *timeout* elapses)."""
+        deadline = time.monotonic() + timeout
+        while not self.healthy:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.01)
+        return True
+
+    # -- request path ------------------------------------------------------------
+    async def request_line(
+        self, line: bytes, timeout: float | None = None
+    ) -> bytes:
+        """Forward one raw request line; await its raw response line.
+
+        Raises :class:`ShardDown` if the connection is (or goes) down
+        before the response arrives, :class:`asyncio.TimeoutError` if
+        the shard stays silent past *timeout*.  On timeout the pending
+        slot is *kept* (shielded): the shard answers its connection in
+        FIFO order, so the slot must stay to keep later responses
+        aligned — and a stalled shard's ``inflight`` keeps climbing,
+        which is exactly the signal load-aware policies route away from.
+        """
+        if not self.healthy or self._writer is None or self._pending is None:
+            raise ShardDown(f"shard {self.name} is not connected")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((future, time.perf_counter()))
+        self.inflight += 1
+        self._writer.write(line)
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            self.n_timeouts += 1
+            raise
+
+    # -- supervision -------------------------------------------------------------
+    async def _supervise(self) -> None:
+        backoff = RECONNECT_MIN_S
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+            except OSError:
+                self.n_conn_failures += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, RECONNECT_MAX_S)
+                continue
+            self._writer = writer
+            self._pending = collections.deque()
+            self.healthy = True
+            backoff = RECONNECT_MIN_S
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    self._settle(line)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            finally:
+                self._teardown()
+
+    def _settle(self, line: bytes) -> None:
+        """Pair one upstream response with the oldest pending request."""
+        if not self._pending:  # pragma: no cover - protocol violation
+            return
+        future, sent_at = self._pending.popleft()
+        self.inflight -= 1
+        elapsed = time.perf_counter() - sent_at
+        self.latency.record(elapsed)
+        self.n_answered += 1
+        self.ewma_latency_s = (
+            elapsed
+            if self.n_answered == 1
+            else EWMA_ALPHA * elapsed + (1 - EWMA_ALPHA) * self.ewma_latency_s
+        )
+        if not future.done():
+            future.set_result(line)
+
+    def _teardown(self) -> None:
+        self.healthy = False
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+            self._writer = None
+        if self._pending:
+            error = ShardDown(f"shard {self.name} connection lost")
+            while self._pending:
+                future, _sent_at = self._pending.popleft()
+                self.inflight -= 1
+                if not future.done():
+                    future.set_exception(error)
+        self._pending = None
+        self.inflight = max(self.inflight, 0)
+
+    def info(self) -> dict:
+        """The healthz/metrics view of this shard."""
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "pid": self.pid,
+            "healthy": self.healthy,
+            "inflight": self.inflight,
+            "ewma_latency_ms": self.ewma_latency_s * 1e3,
+            "answered": self.n_answered,
+            "conn_failures": self.n_conn_failures,
+            "timeouts": self.n_timeouts,
+        }
+
+
+class ShardRouter:
+    """The public endpoint of a sharded rule-serving deployment."""
+
+    def __init__(
+        self,
+        shards: Iterable[ShardHandle | tuple[str, int]],
+        *,
+        policy: "str | LBPolicy" = "round_robin",
+        request_timeout_s: float | None = 30.0,
+        control_timeout_s: float = 60.0,
+        retry_after_s: float = 0.05,
+        max_inflight_per_shard: int = 1024,
+        name: str = "router",
+    ):
+        self.handles: list[ShardHandle] = []
+        for k, shard in enumerate(shards):
+            if isinstance(shard, ShardHandle):
+                self.handles.append(shard)
+            else:
+                host, port = shard
+                self.handles.append(ShardHandle(f"shard{k}", host, port))
+        if not self.handles:
+            raise ValueError("a router needs at least one shard")
+        self.policy = get_policy(policy)
+        self.request_timeout_s = request_timeout_s
+        self.control_timeout_s = control_timeout_s
+        self.retry_after_s = retry_after_s
+        self.max_inflight_per_shard = max_inflight_per_shard
+        self.name = name
+        self.started_at = time.monotonic()
+        self.n_routed = 0
+        self.n_shard_retries = 0
+        self.n_timeouts = 0
+        self.n_unrouteable = 0
+        self.n_bad_requests = 0
+        self._server: asyncio.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        wait_healthy_s: float = 10.0,
+    ) -> asyncio.Server:
+        """Dial every shard, then open the public listener.
+
+        Requires at least one shard to come up within *wait_healthy_s*;
+        stragglers keep redialing in the background.
+        """
+        if self._server is not None:
+            raise RuntimeError("router already started")
+        self.started_at = time.monotonic()
+        self._draining = False
+        for handle in self.handles:
+            handle.start()
+        deadline = time.monotonic() + wait_healthy_s
+        for handle in self.handles:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            await handle.wait_healthy(remaining)
+        if not any(h.healthy for h in self.handles):
+            for handle in self.handles:
+                await handle.close()
+            raise ConnectionError(
+                f"no shard became healthy within {wait_healthy_s}s: "
+                f"{self.handles}"
+            )
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=MAX_LINE_BYTES
+        )
+        return self._server
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("router is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Stop accepting, let in-flight forwards finish, close shards."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(set(self._conn_tasks), timeout=2.0)
+            for task in pending:  # pragma: no cover - lingering clients
+                task.cancel()
+            if pending:  # pragma: no cover
+                await asyncio.wait(pending)
+            self._conn_tasks.clear()
+        for handle in self.handles:
+            await handle.close()
+
+    # -- connection handling -----------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await run_ndjson_connection(
+            reader, writer, self._dispatch, self._conn_tasks
+        )
+
+    def _dispatch(self, line: bytes) -> bytes | asyncio.Future:
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (json.JSONDecodeError, ValueError, UnicodeDecodeError) as exc:
+            self.n_bad_requests += 1
+            return _error_line(None, "bad_request", str(exc))
+        request_id = request.get("id")
+        kind = request.get("type")
+        if kind == "match":
+            if self._draining:
+                return _error_line(
+                    request_id, "shutting_down", "router is draining"
+                )
+            return asyncio.ensure_future(self._forward(line, request_id))
+        if kind == "healthz":
+            return asyncio.ensure_future(self._healthz(request_id))
+        if kind == "metrics":
+            return asyncio.ensure_future(self._metrics(request_id))
+        if kind == "reload":
+            return asyncio.ensure_future(self._reload(request, request_id))
+        self.n_bad_requests += 1
+        return _error_line(
+            request_id, "bad_request", f"unknown request type {kind!r}"
+        )
+
+    # -- match forwarding --------------------------------------------------------
+    def _candidates(
+        self, tried: Sequence[ShardHandle]
+    ) -> list[ShardHandle]:
+        return [
+            h
+            for h in self.handles
+            if h.healthy
+            and h not in tried
+            and h.inflight < self.max_inflight_per_shard
+        ]
+
+    async def _forward(self, line: bytes, request_id) -> bytes:
+        """Route one match request; retry replica failures, shed overload."""
+        tried: list[ShardHandle] = []
+        while True:
+            candidates = self._candidates(tried)
+            if not candidates:
+                break
+            shard = self.policy.choose(candidates)
+            tried.append(shard)
+            try:
+                response = await shard.request_line(
+                    line, self.request_timeout_s
+                )
+            except ShardDown:
+                # the replica vanished mid-request; matching is
+                # idempotent, so another replica can answer instead
+                self.n_shard_retries += 1
+                continue
+            except asyncio.TimeoutError:
+                response_obj = _error(
+                    request_id,
+                    "shard_timeout",
+                    f"shard {shard.name} did not answer within "
+                    f"{self.request_timeout_s}s",
+                )
+                response_obj["retry_after"] = self.retry_after_s
+                self.n_timeouts += 1
+                return _encode(response_obj)
+            except Exception as exc:  # pragma: no cover - defensive
+                response_obj = _error(request_id, "internal", repr(exc))
+                return _encode(response_obj)
+            self.n_routed += 1
+            return response
+        self.n_unrouteable += 1
+        response_obj = _error(
+            request_id,
+            "overloaded",
+            "no healthy shard available",
+        )
+        response_obj["retry_after"] = self.retry_after_s
+        return _encode(response_obj)
+
+    # -- control plane -----------------------------------------------------------
+    async def _probe_one(self, request: dict) -> dict:
+        """Ask the first healthy shard that answers; {} if none do."""
+        line = json.dumps(request).encode() + b"\n"
+        for handle in self.handles:
+            if not handle.healthy:
+                continue
+            try:
+                raw = await handle.request_line(line, self.control_timeout_s)
+                return json.loads(raw)
+            except (ShardDown, asyncio.TimeoutError, json.JSONDecodeError):
+                continue
+        return {}
+
+    def _shard_infos(self) -> list[dict]:
+        return [handle.info() for handle in self.handles]
+
+    async def _healthz(self, request_id) -> bytes:
+        n_healthy = sum(1 for h in self.handles if h.healthy)
+        if self._draining:
+            status = "draining"
+        elif n_healthy == len(self.handles):
+            status = "ok"
+        elif n_healthy:
+            status = "degraded"
+        else:
+            status = "unavailable"
+        probe = await self._probe_one({"type": "healthz"})
+        return _encode(
+            {
+                "type": "healthz",
+                "id": request_id,
+                "status": status,
+                "role": "router",
+                "name": self.name,
+                "policy": self.policy.name,
+                "protocol_version": PROTOCOL_VERSION,
+                "uptime_s": time.monotonic() - self.started_at,
+                "n_shards": len(self.handles),
+                "n_healthy": n_healthy,
+                "n_rules": probe.get("n_rules"),
+                "version": probe.get("version"),
+                "version_tag": probe.get("version_tag"),
+                "shards": self._shard_infos(),
+            }
+        )
+
+    async def _metrics(self, request_id) -> bytes:
+        line = b'{"type": "metrics"}\n'
+
+        async def scrape(handle: ShardHandle) -> dict | None:
+            if not handle.healthy:
+                return None
+            try:
+                raw = await handle.request_line(line, self.control_timeout_s)
+                return json.loads(raw)
+            except (ShardDown, asyncio.TimeoutError, json.JSONDecodeError):
+                return None
+
+        scraped = await asyncio.gather(*(scrape(h) for h in self.handles))
+        shard_metrics = [m for m in scraped if m is not None]
+        merged = aggregate_shard_metrics(shard_metrics)
+        # the router-side view: true end-to-end latency per shard link
+        router_latency = LatencyHistogram()
+        for handle in self.handles:
+            router_latency.merge(handle.latency)
+        return _encode(
+            {
+                "type": "metrics",
+                "id": request_id,
+                "role": "router",
+                "uptime_s": time.monotonic() - self.started_at,
+                **merged,
+                "router": {
+                    "policy": self.policy.name,
+                    "routed": self.n_routed,
+                    "shard_retries": self.n_shard_retries,
+                    "timeouts": self.n_timeouts,
+                    "unrouteable": self.n_unrouteable,
+                    "bad_requests": self.n_bad_requests,
+                    "latency": router_latency.as_dict(),
+                    "shards": self._shard_infos(),
+                },
+            }
+        )
+
+    async def _reload(self, request: dict, request_id) -> bytes:
+        """Rolling hot-swap across shards, one at a time.
+
+        Every shard is told the *same* explicit version number (current
+        cluster max + 1), so responses tagged with the new version mean
+        the same rulebook no matter which replica answered.
+        """
+        path = request.get("rulebook")
+        if not isinstance(path, str) or not path:
+            self.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "reload needs a 'rulebook' path"
+            )
+        version = request.get("version")
+        if version is None:
+            probe = await self._probe_one({"type": "healthz"})
+            version = int(probe.get("version") or 0) + 1
+        payload: dict = {
+            "type": "reload",
+            "rulebook": path,
+            "version": version,
+        }
+        if request.get("version_tag") is not None:
+            payload["version_tag"] = request["version_tag"]
+        line = json.dumps(payload).encode() + b"\n"
+        outcomes = []
+        n_rules = None
+        version_tag = request.get("version_tag")
+        for handle in self.handles:
+            if not handle.healthy:
+                outcomes.append(
+                    {"name": handle.name, "ok": False, "error": "unhealthy"}
+                )
+                continue
+            try:
+                raw = await handle.request_line(line, self.control_timeout_s)
+                result = json.loads(raw)
+            except (ShardDown, asyncio.TimeoutError) as exc:
+                outcomes.append(
+                    {"name": handle.name, "ok": False, "error": repr(exc)}
+                )
+                continue
+            if result.get("type") == "reload_result":
+                n_rules = result.get("n_rules")
+                version_tag = result.get("version_tag", version_tag)
+                outcomes.append(
+                    {
+                        "name": handle.name,
+                        "ok": True,
+                        "version": result.get("version"),
+                    }
+                )
+            else:
+                outcomes.append(
+                    {
+                        "name": handle.name,
+                        "ok": False,
+                        "error": result.get("detail", "reload refused"),
+                    }
+                )
+        status = "ok" if all(o["ok"] for o in outcomes) else "partial"
+        return _encode(
+            {
+                "type": "reload_result",
+                "id": request_id,
+                "status": status,
+                "version": version,
+                "version_tag": version_tag,
+                "n_rules": n_rules,
+                "shards": outcomes,
+            }
+        )

@@ -4,16 +4,20 @@ Protocol (one JSON object per line, both directions)::
 
     → {"type": "match",   "transaction": ["SM Util = 0%", ...], "id": 7,
        "explain": false}
-    ← {"type": "match_result", "id": 7, "fired": [...], "near_misses": [...]}
+    ← {"type": "match_result", "id": 7, "version": 1, "fired": [...],
+       "near_misses": [...]}
 
     → {"type": "healthz"}
     ← {"type": "healthz", "status": "ok"|"draining", "uptime_s": ...,
-       "n_rules": ...}
+       "n_rules": ..., "version": ..., "version_tag": ...}
 
     → {"type": "metrics"}
     ← {"type": "metrics", "uptime_s": ..., "queue_depth": ...,
        "latency": {"p50_s": ..., "p99_s": ..., ...},
        "requests": {...}, "rule_matches": {...}}
+
+    → {"type": "reload", "rulebook": "/path/to/book.jsonl"}
+    ← {"type": "reload_result", "version": 2, "n_rules": ...}
 
 Design points, mirroring what a production sidecar needs:
 
@@ -33,9 +37,22 @@ Design points, mirroring what a production sidecar needs:
 * **Graceful drain** — SIGTERM/SIGINT (or :meth:`RuleService.shutdown`)
   stops accepting connections, answers everything already queued, then
   closes.  In-flight work is never dropped.
+* **Hot-swap** — the serving index is a versioned atomic pointer.  A
+  ``reload`` request (or :meth:`RuleService.reload`) enqueues a flip
+  marker on the *same* queue the matcher drains, so the swap applies at
+  a batch boundary: every request enqueued before the marker is answered
+  from the old index, everything after from the new one, and no
+  micro-batch ever mixes versions.  Every ``match_result`` carries the
+  ``version`` that answered it, so mixed-version client batches are
+  detectable downstream.
 * **Observability** — latency quantiles come from the engine's shared
   :class:`~repro.engine.stats.LatencyHistogram`; per-rule fire counts
   tell the operator which mined rules actually earn their keep.
+
+The per-connection reader/writer machinery is shared with the shard
+router (:mod:`repro.serve.router`) via :func:`run_ndjson_connection` /
+:func:`pump_responses` — both ends of the sharded deployment speak the
+exact same framing.
 """
 
 from __future__ import annotations
@@ -43,15 +60,21 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import socket
 import time
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..core.items import Item
 from ..engine.stats import LatencyHistogram
 from .index import RuleIndex
-from .rulebook import RuleBook
+from .rulebook import RuleBook, RuleBookSchemaError
 
-__all__ = ["ServiceMetrics", "RuleService"]
+__all__ = [
+    "ServiceMetrics",
+    "RuleService",
+    "run_ndjson_connection",
+    "pump_responses",
+]
 
 #: protocol schema version announced by healthz
 PROTOCOL_VERSION = 1
@@ -81,6 +104,7 @@ class ServiceMetrics:
         "n_rejected",
         "n_bad_requests",
         "n_batches",
+        "n_reloads",
         "rule_matches",
     )
 
@@ -91,6 +115,7 @@ class ServiceMetrics:
         self.n_rejected = 0
         self.n_bad_requests = 0
         self.n_batches = 0
+        self.n_reloads = 0
         self.rule_matches: dict[int, int] = {}
 
     @property
@@ -101,17 +126,46 @@ class ServiceMetrics:
         return {
             "uptime_s": self.uptime_s,
             "latency": self.latency.as_dict(),
+            # raw bucket counts, so a router can merge true histograms
+            # across shards (engine.stats.aggregate_shard_metrics)
+            "latency_state": self.latency.state_dict(),
             "requests": {
                 "matched": self.n_matched,
                 "rejected": self.n_rejected,
                 "bad": self.n_bad_requests,
                 "batches": self.n_batches,
+                "reloads": self.n_reloads,
             },
             "rule_matches": {
                 index.rule_label(rule_id): count
                 for rule_id, count in sorted(self.rule_matches.items())
             },
         }
+
+
+class _IndexFlip:
+    """A hot-swap marker travelling the request queue.
+
+    Placing the flip on the same queue as match requests is what makes
+    the swap safe without locks: the batcher applies it *between*
+    micro-batches, so a batch is always answered by exactly one index
+    version, and request order decides which side of the swap a request
+    lands on.
+    """
+
+    __slots__ = ("index", "version", "version_tag", "done")
+
+    def __init__(
+        self,
+        index: RuleIndex,
+        version: int,
+        version_tag: str | None,
+        done: asyncio.Future,
+    ):
+        self.index = index
+        self.version = version
+        self.version_tag = version_tag
+        self.done = done
 
 
 class RuleService:
@@ -124,6 +178,11 @@ class RuleService:
 
     Tests drive :meth:`start` / :meth:`shutdown` directly for
     deterministic control over the lifecycle.
+
+    ``version`` starts at 1 and bumps on every :meth:`reload`; shard
+    deployments pass explicit versions so all replicas agree on the tag
+    a response carries.  ``name`` identifies the shard in healthz
+    output.
     """
 
     def __init__(
@@ -133,36 +192,72 @@ class RuleService:
         max_queue: int = DEFAULT_MAX_QUEUE,
         max_batch: int = DEFAULT_MAX_BATCH,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        version: int = 1,
+        version_tag: str | None = None,
+        name: str | None = None,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self.index = index
+        self.version = version
+        self.version_tag = version_tag
+        self.name = name
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.retry_after_s = retry_after_s
         self.metrics = ServiceMetrics()
-        self._queue: asyncio.Queue[tuple[dict, float, asyncio.Future]] = (
-            asyncio.Queue(maxsize=max_queue)
-        )
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_queue)
         self._server: asyncio.Server | None = None
+        self._control: asyncio.Server | None = None
         self._batcher: asyncio.Task | None = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._draining = False
 
     # -- lifecycle ---------------------------------------------------------------
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.Server:
-        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+    async def start(
+        self, host: str = "127.0.0.1", port: int = 0, *, reuse_port: bool = False
+    ) -> asyncio.Server:
+        """Bind and start serving; ``port=0`` picks an ephemeral port.
+
+        ``reuse_port=True`` binds with ``SO_REUSEPORT`` so N worker
+        processes can share one public port and let the kernel spread
+        incoming connections across them — the router-free sharding
+        mode.
+        """
         if self._server is not None:
             raise RuntimeError("service already started")
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ValueError("SO_REUSEPORT is not available on this platform")
         self.metrics = ServiceMetrics()
         self._draining = False
         self._batcher = asyncio.create_task(self._batch_loop())
         self._server = await asyncio.start_server(
-            self._handle_client, host, port, limit=MAX_LINE_BYTES
+            self._handle_client,
+            host,
+            port,
+            limit=MAX_LINE_BYTES,
+            **({"reuse_port": True} if reuse_port else {}),
         )
         return self._server
+
+    async def start_control(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.Server:
+        """Open a second listener speaking the same protocol.
+
+        In ``SO_REUSEPORT`` deployments the public port cannot target a
+        *specific* worker (the kernel picks), so each worker also exposes
+        a private control port where the cluster parent sends ``reload``
+        and scrapes ``metrics``.
+        """
+        if self._control is not None:
+            raise RuntimeError("control listener already started")
+        self._control = await asyncio.start_server(
+            self._handle_client, host, port, limit=MAX_LINE_BYTES
+        )
+        return self._control
 
     @property
     def port(self) -> int:
@@ -171,9 +266,31 @@ class RuleService:
             raise RuntimeError("service is not listening")
         return self._server.sockets[0].getsockname()[1]
 
-    async def serve_forever(self, host: str = "127.0.0.1", port: int = 7317) -> None:
-        """Run until SIGTERM/SIGINT, then drain and exit."""
-        server = await self.start(host, port)
+    @property
+    def control_port(self) -> int:
+        if self._control is None or not self._control.sockets:
+            raise RuntimeError("control listener is not open")
+        return self._control.sockets[0].getsockname()[1]
+
+    async def serve_forever(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7317,
+        *,
+        reuse_port: bool = False,
+        control_host: str | None = None,
+        on_ready: Callable[["RuleService"], None] | None = None,
+    ) -> None:
+        """Run until SIGTERM/SIGINT, then drain and exit.
+
+        ``on_ready`` fires once listening (after ephemeral ports are
+        known) — shard workers use it to report their ports to the
+        cluster parent.  ``control_host`` additionally opens a control
+        listener on an ephemeral port of that host.
+        """
+        server = await self.start(host, port, reuse_port=reuse_port)
+        if control_host is not None:
+            await self.start_control(control_host, 0)
         loop = asyncio.get_running_loop()
         stop = asyncio.Event()
         for signum in (signal.SIGTERM, signal.SIGINT):
@@ -181,6 +298,8 @@ class RuleService:
                 loop.add_signal_handler(signum, stop.set)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass  # non-POSIX event loops
+        if on_ready is not None:
+            on_ready(self)
         async with server:
             await stop.wait()
         await self.shutdown()
@@ -188,10 +307,12 @@ class RuleService:
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, answer queued work, close."""
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        for server_attr in ("_server", "_control"):
+            server = getattr(self, server_attr)
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+                setattr(self, server_attr, None)
         # everything already queued gets answered before the batcher dies
         await self._queue.join()
         if self._batcher is not None:
@@ -212,60 +333,96 @@ class RuleService:
                 await asyncio.wait(pending)
             self._conn_tasks.clear()
 
+    # -- hot swap ----------------------------------------------------------------
+    async def reload(
+        self,
+        index: RuleIndex,
+        *,
+        version: int | None = None,
+        version_tag: str | None = None,
+    ) -> int:
+        """Swap the serving index with zero downtime; returns the version.
+
+        The flip is enqueued behind every already-accepted request and
+        applied at a micro-batch boundary, so in-flight batches drain on
+        the old index first.  Requests keep flowing while the marker
+        waits its turn — nothing is rejected or dropped by a reload.
+        """
+        if version is None:
+            version = self.version + 1
+        if self._batcher is None:
+            # not serving: apply directly (offline re-arm between runs)
+            self.index = index
+            self.version = int(version)
+            self.version_tag = version_tag
+            return self.version
+        flip = _IndexFlip(
+            index,
+            int(version),
+            version_tag,
+            asyncio.get_running_loop().create_future(),
+        )
+        await self._queue.put(flip)
+        await flip.done
+        return flip.version
+
+    def _apply_flip(self, flip: _IndexFlip) -> None:
+        # plain attribute stores, no awaits in between: atomic under
+        # asyncio's cooperative scheduling
+        self.index = flip.index
+        self.version = flip.version
+        self.version_tag = flip.version_tag
+        self.metrics.n_reloads += 1
+        if not flip.done.done():
+            flip.done.set_result(None)
+
+    async def _wire_reload(self, request: dict, request_id) -> bytes:
+        """Handle a ``reload`` protocol request (path is server-local)."""
+        if self._draining:
+            return _error_line(
+                request_id, "shutting_down", "service is draining"
+            )
+        path = request.get("rulebook")
+        if not isinstance(path, str) or not path:
+            self.metrics.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "reload needs a 'rulebook' path"
+            )
+        version = request.get("version")
+        if version is not None and not isinstance(version, int):
+            self.metrics.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "reload version must be an integer"
+            )
+        try:
+            # book parse + index build off the event loop: serving
+            # continues on the old index while the new one is prepared
+            index, fingerprint = await asyncio.to_thread(
+                _load_index, path
+            )
+        except (OSError, RuleBookSchemaError, ValueError) as exc:
+            return _error_line(request_id, "reload_failed", str(exc))
+        tag = request.get("version_tag")
+        if tag is None:
+            tag = fingerprint
+        applied = await self.reload(index, version=version, version_tag=tag)
+        return _encode(
+            {
+                "type": "reload_result",
+                "id": request_id,
+                "version": applied,
+                "version_tag": tag,
+                "n_rules": len(index),
+            }
+        )
+
     # -- connection handling ----------------------------------------------------
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        # reader half: parse lines and enqueue a response slot per request,
-        # so the connection is pipelined — the writer half answers slots in
-        # request order, awaiting match futures as the batcher resolves them
-        task = asyncio.current_task()
-        if task is not None:
-            self._conn_tasks.add(task)
-        out: asyncio.Queue[bytes | asyncio.Future | None] = asyncio.Queue()
-        writer_task = asyncio.create_task(self._write_responses(out, writer))
-        try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                out.put_nowait(self._dispatch(line))
-        except (ConnectionResetError, BrokenPipeError, ValueError):
-            pass  # reset mid-read, or a line beyond MAX_LINE_BYTES
-        finally:
-            out.put_nowait(None)
-            try:
-                await writer_task
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
-            except asyncio.CancelledError:  # pragma: no cover - forced close
-                writer_task.cancel()
-                writer.close()
-                raise
-            finally:
-                if task is not None:
-                    self._conn_tasks.discard(task)
-
-    async def _write_responses(
-        self,
-        out: asyncio.Queue,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        """Write response lines in request order, coalescing drains."""
-        try:
-            while True:
-                entry = await out.get()
-                if entry is None:
-                    break
-                if isinstance(entry, asyncio.Future):
-                    entry = await entry
-                writer.write(entry)
-                if out.empty():  # flow control once per burst, not per line
-                    await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass  # client went away; the reader half will see EOF
+        await run_ndjson_connection(
+            reader, writer, self._dispatch, self._conn_tasks
+        )
 
     def _dispatch(self, line: bytes) -> bytes | asyncio.Future:
         """One request line → encoded response line, or a pending future."""
@@ -287,10 +444,14 @@ class RuleService:
                 {
                     "type": "metrics",
                     "id": request_id,
+                    "name": self.name,
+                    "version": self.version,
                     "queue_depth": self._queue.qsize(),
                     **self.metrics.as_dict(self.index),
                 }
             )
+        if kind == "reload":
+            return asyncio.ensure_future(self._wire_reload(request, request_id))
         self.metrics.n_bad_requests += 1
         return _error_line(
             request_id, "bad_request", f"unknown request type {kind!r}"
@@ -304,6 +465,9 @@ class RuleService:
             "protocol_version": PROTOCOL_VERSION,
             "uptime_s": self.metrics.uptime_s,
             "n_rules": len(self.index),
+            "version": self.version,
+            "version_tag": self.version_tag,
+            "name": self.name,
         }
 
     def _enqueue_match(self, request: dict, request_id) -> bytes | asyncio.Future:
@@ -345,7 +509,19 @@ class RuleService:
                     batch.append(self._queue.get_nowait())
                 except asyncio.QueueEmpty:
                     break
-            await self._process_batch(batch)
+            # flips split the drained slice into segments, each answered
+            # entirely by the index version live when its segment runs
+            segment: list = []
+            for entry in batch:
+                if isinstance(entry, _IndexFlip):
+                    if segment:
+                        await self._process_batch(segment)
+                        segment = []
+                    self._apply_flip(entry)
+                else:
+                    segment.append(entry)
+            if segment:
+                await self._process_batch(segment)
             for _ in batch:
                 self._queue.task_done()
 
@@ -356,14 +532,19 @@ class RuleService:
         self.metrics.n_batches += 1
         record = self.metrics.latency.record
         now = time.perf_counter
+        # captured once: every response of this batch carries one version
+        index = self.index
+        version = self.version
         for request, enqueued_at, future in batch:
             if future.cancelled():  # pragma: no cover - client vanished
                 continue
-            line = self._match_line(request)
+            line = self._match_line(request, index, version)
             record(now() - enqueued_at)
             future.set_result(line)
 
-    def _match_line(self, request: dict) -> bytes:
+    def _match_line(
+        self, request: dict, index: RuleIndex, version: int
+    ) -> bytes:
         """One match request → encoded ``match_result`` line.
 
         The common path (no ``explain``) assembles the response from the
@@ -374,7 +555,7 @@ class RuleService:
         self.metrics.n_matched += 1
         rule_matches = self.metrics.rule_matches
         if request.get("explain"):
-            fired = self.index.match(transaction)
+            fired = index.match(transaction)
             for match in fired:
                 rule_matches[match.rule_id] = (
                     rule_matches.get(match.rule_id, 0) + 1
@@ -383,23 +564,96 @@ class RuleService:
                 {
                     "type": "match_result",
                     "id": request.get("id"),
+                    "version": version,
                     "fired": [m.as_dict() for m in fired],
                     "near_misses": [
-                        n.as_dict() for n in self.index.explain(transaction)
+                        n.as_dict() for n in index.explain(transaction)
                     ],
                 }
             )
-        wire = self.index.match_wire(transaction)
+        wire = index.match_wire(transaction)
         for rule_id, _ in wire:
             rule_matches[rule_id] = rule_matches.get(rule_id, 0) + 1
         return (
-            '{"type": "match_result", "id": %s, "fired": [%s]}\n'
-            % (json.dumps(request.get("id")), ", ".join(f for _, f in wire))
+            '{"type": "match_result", "id": %s, "version": %d, "fired": [%s]}\n'
+            % (
+                json.dumps(request.get("id")),
+                version,
+                ", ".join(f for _, f in wire),
+            )
         ).encode()
 
     @classmethod
     def from_rulebook(cls, book: RuleBook, **kwargs) -> "RuleService":
+        kwargs.setdefault("version_tag", book.fingerprint)
         return cls(RuleIndex.from_rulebook(book), **kwargs)
+
+
+async def run_ndjson_connection(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    dispatch: Callable[[bytes], "bytes | asyncio.Future"],
+    conn_tasks: set[asyncio.Task] | None = None,
+) -> None:
+    """One pipelined NDJSON connection: read lines, answer in order.
+
+    ``dispatch`` maps a raw request line to either an encoded response
+    line or a future resolving to one; responses are written strictly in
+    request order by a paired writer task.  Shared by the service and
+    the shard router so both ends use identical framing and teardown.
+    """
+    task = asyncio.current_task()
+    if task is not None and conn_tasks is not None:
+        conn_tasks.add(task)
+    out: asyncio.Queue = asyncio.Queue()
+    writer_task = asyncio.create_task(pump_responses(out, writer))
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            out.put_nowait(dispatch(line))
+    except (ConnectionResetError, BrokenPipeError, ValueError):
+        pass  # reset mid-read, or a line beyond MAX_LINE_BYTES
+    finally:
+        out.put_nowait(None)
+        try:
+            await writer_task
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:  # pragma: no cover - forced close
+            writer_task.cancel()
+            writer.close()
+            raise
+        finally:
+            if task is not None and conn_tasks is not None:
+                conn_tasks.discard(task)
+
+
+async def pump_responses(
+    out: asyncio.Queue,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Write response lines in request order, coalescing drains."""
+    try:
+        while True:
+            entry = await out.get()
+            if entry is None:
+                break
+            if isinstance(entry, asyncio.Future):
+                entry = await entry
+            writer.write(entry)
+            if out.empty():  # flow control once per burst, not per line
+                await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away; the reader half will see EOF
+
+
+def _load_index(path: str) -> tuple[RuleIndex, str | None]:
+    book = RuleBook.load(path)
+    return RuleIndex.from_rulebook(book), book.fingerprint
 
 
 def _error(request_id, code: str, detail: str) -> dict:

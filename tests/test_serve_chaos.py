@@ -1,0 +1,237 @@
+"""Fault-injection tests: real worker processes, real signals.
+
+Each scenario runs a genuine multi-process cluster (``repro serve
+--shards N`` under the hood) and injects the fault through the
+``serve_chaos`` harness while a :class:`~tests.serve_chaos.LoadDriver`
+keeps sustained traffic flowing.  The common acceptance shape:
+
+* **liveness** — ``wait_for_progress`` proves clients never hang;
+* **zero unrecovered failures** — the router's replica-retry plus the
+  client's bounded backoff absorb every injected fault;
+* **observability** — healthz/metrics report the degradation honestly.
+"""
+
+import asyncio
+import signal
+import socket
+
+import pytest
+
+from repro.serve import RuleServiceClient
+from repro.serve.shard import ShardCluster, broadcast_reload
+
+from .serve_chaos import (
+    ChaosCluster,
+    LoadDriver,
+    abort_mid_batch,
+    make_rulebook,
+    random_transactions,
+    save_rulebook,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture
+def book_path(tmp_path):
+    return save_rulebook(make_rulebook(seed=1), tmp_path, "chaos")
+
+
+class TestKillShard:
+    def test_kill_one_of_three_under_load(self, book_path):
+        transactions = random_transactions(seed=2, n=64)
+
+        async def scenario():
+            async with ChaosCluster(book_path, 3) as chaos:
+                async with LoadDriver(
+                    chaos.host, chaos.port, transactions
+                ) as driver:
+                    await driver.wait_for_progress(50, timeout=30)
+                    chaos.kill(1)
+                    # remaining shards keep serving; nobody hangs
+                    await driver.wait_for_progress(100, timeout=30)
+                    outcome = await driver.stop()
+
+                # the strong form of graceful degradation: replica
+                # retries + client backoff absorbed the replica loss
+                assert outcome.failures == [], outcome.failures[:5]
+                assert outcome.n_ok >= 150
+
+                async with await RuleServiceClient.connect(
+                    chaos.host, chaos.port
+                ) as client:
+                    health = await client.healthz()
+                    assert health["status"] == "degraded"
+                    assert health["n_healthy"] == 2
+                    down = [
+                        s for s in health["shards"] if not s["healthy"]
+                    ]
+                    assert [s["name"] for s in down] == ["shard1"]
+                    # and the survivors still answer matches
+                    result = await client.match(transactions[0])
+                    assert result["type"] == "match_result"
+
+        run(scenario())
+
+
+class TestStalledShard:
+    def test_stall_routes_around_silent_worker(self, book_path):
+        transactions = random_transactions(seed=3, n=64)
+
+        async def scenario():
+            # least_loaded: a stalled shard's inflight count climbs, so
+            # new traffic steers away; a short request timeout bounds
+            # the requests already stuck on it
+            async with ChaosCluster(
+                book_path, 3, lb_policy="least_loaded", request_timeout_s=1.0
+            ) as chaos:
+                async with LoadDriver(
+                    chaos.host, chaos.port, transactions
+                ) as driver:
+                    await driver.wait_for_progress(30, timeout=30)
+                    chaos.stall(0)
+                    await driver.wait_for_progress(100, timeout=45)
+                    chaos.resume(0)
+                    await driver.wait_for_progress(30, timeout=30)
+                    outcome = await driver.stop()
+
+                assert outcome.failures == [], outcome.failures[:5]
+                assert outcome.n_ok >= 160
+
+        run(scenario())
+
+
+class TestClientDisconnect:
+    def test_mid_batch_disconnects_leave_other_clients_unharmed(
+        self, book_path
+    ):
+        transactions = random_transactions(seed=4, n=64)
+
+        async def scenario():
+            async with ChaosCluster(book_path, 2) as chaos:
+                async with LoadDriver(
+                    chaos.host, chaos.port, transactions
+                ) as driver:
+                    await driver.wait_for_progress(20, timeout=30)
+                    for _ in range(5):  # rude clients, repeatedly
+                        await abort_mid_batch(
+                            chaos.host, chaos.port, transactions
+                        )
+                    await driver.wait_for_progress(60, timeout=30)
+                    outcome = await driver.stop()
+
+                assert outcome.failures == [], outcome.failures[:5]
+
+                async with await RuleServiceClient.connect(
+                    chaos.host, chaos.port
+                ) as client:
+                    health = await client.healthz()
+                    assert health["status"] == "ok"
+                    assert health["n_healthy"] == 2
+
+        run(scenario())
+
+
+class TestHotSwapUnderLoad:
+    def test_flip_rulebook_with_zero_failed_requests(
+        self, book_path, tmp_path
+    ):
+        new_book = make_rulebook(seed=9, n_rules=120)
+        new_path = save_rulebook(new_book, tmp_path, "chaos-v2")
+        transactions = random_transactions(seed=5, n=64)
+
+        async def scenario():
+            async with ChaosCluster(book_path, 2) as chaos:
+                async with LoadDriver(
+                    chaos.host, chaos.port, transactions
+                ) as driver:
+                    await driver.wait_for_progress(40, timeout=30)
+                    result = await chaos.reload(new_path)
+                    assert result["status"] == "ok"
+                    assert result["version"] == 2
+                    flipped_at = driver.marker()
+                    await driver.wait_for_progress(60, timeout=30)
+                    outcome = await driver.stop()
+
+                # zero dropped requests across the swap
+                assert outcome.failures == [], outcome.failures[:5]
+                versions = {
+                    r.version for r in outcome.records if r.version
+                }
+                assert versions == {1, 2}, versions
+                # once the rolling reload reports done, every response
+                # carries the new version tag — no stragglers
+                tail = outcome.versions_after(flipped_at)
+                assert tail and set(tail) == {2}
+
+                async with await RuleServiceClient.connect(
+                    chaos.host, chaos.port
+                ) as client:
+                    health = await client.healthz()
+                    assert health["version"] == 2
+                    assert health["version_tag"] == new_book.fingerprint
+                    assert health["n_rules"] == len(new_book)
+
+        run(scenario())
+
+
+@pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT not available on this platform",
+)
+class TestReusePortMode:
+    def test_kernel_balanced_cluster_serves_and_reloads(
+        self, book_path, tmp_path
+    ):
+        new_path = save_rulebook(
+            make_rulebook(seed=11, n_rules=100), tmp_path, "reuse-v2"
+        )
+        transactions = random_transactions(seed=6, n=32)
+
+        async def scenario():
+            cluster = ShardCluster(book_path, 2, mode="reuseport")
+            await cluster.start()
+            try:
+                assert len(cluster.control_ports) == 2
+                async with await RuleServiceClient.connect(
+                    cluster.host, cluster.port
+                ) as client:
+                    for txn in transactions:
+                        result = await client.match(txn)
+                        assert result["type"] == "match_result"
+                        assert result["version"] == 1
+
+                # rolling reload via the private per-worker control
+                # ports (the shared public port cannot address one
+                # specific worker — the kernel picks)
+                result = await broadcast_reload(
+                    cluster.host, cluster.control_ports, new_path
+                )
+                assert result["status"] == "ok"
+                assert result["version"] == 2
+
+                async with await RuleServiceClient.connect(
+                    cluster.host, cluster.port
+                ) as client:
+                    result = await client.match(transactions[0])
+                    assert result["version"] == 2
+            finally:
+                await cluster.shutdown()
+
+        run(scenario())
+
+    def test_workers_drain_on_sigterm(self, book_path):
+        async def scenario():
+            cluster = ShardCluster(book_path, 2, mode="reuseport")
+            await cluster.start()
+            try:
+                for worker in cluster.workers:
+                    worker.send_signal(signal.SIGTERM)
+                codes = [await worker.wait(10.0) for worker in cluster.workers]
+                assert codes == [0, 0]
+            finally:
+                await cluster.shutdown()
+
+        run(scenario())

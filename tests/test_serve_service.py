@@ -166,8 +166,10 @@ class TestBackpressure:
             await service.start(port=0)
             try:
                 async def one(port):
+                    # max_retries=0: observe raw rejections instead of
+                    # the client's built-in backoff-and-resend
                     async with await RuleServiceClient.connect(
-                        "127.0.0.1", port
+                        "127.0.0.1", port, max_retries=0
                     ) as client:
                         try:
                             return await client.match(["X = 1"])
@@ -185,6 +187,92 @@ class TestBackpressure:
                     assert exc.code == "overloaded"
                     assert exc.retry_after == pytest.approx(0.123)
                 assert service.metrics.n_rejected == len(rejected)
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_client_backoff_absorbs_overload(self):
+        # regression: the client used to surface `overloaded` to the
+        # caller; now it honours retry_after with bounded exponential
+        # backoff, so every request against a deliberately tiny queue
+        # eventually succeeds
+        async def scenario():
+            service = SlowService(
+                make_index(), delay_s=0.02, max_queue=2, max_batch=1,
+                retry_after_s=0.01,
+            )
+            await service.start(port=0)
+            try:
+                async def one(port):
+                    async with await RuleServiceClient.connect(
+                        "127.0.0.1", port, max_retries=50
+                    ) as client:
+                        result = await client.match(["X = 1"])
+                        return result, client.n_retried
+
+                outcomes = await asyncio.gather(
+                    *(one(service.port) for _ in range(10))
+                )
+                assert all(
+                    result["type"] == "match_result" for result, _ in outcomes
+                )
+                assert service.metrics.n_rejected > 0, (
+                    "the tiny queue must have shed load for this test "
+                    "to exercise the backoff path"
+                )
+                assert sum(retries for _, retries in outcomes) > 0
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_client_backoff_budget_is_bounded(self):
+        # a terminal error (bad_request has no retry_after) must raise
+        # immediately, and an exhausted retry budget must surface the
+        # last rejection rather than looping forever
+        async def scenario():
+            service = SlowService(
+                make_index(), delay_s=0.5, max_queue=1, max_batch=1,
+                retry_after_s=0.01,
+            )
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port, max_retries=2
+                ) as client:
+                    with pytest.raises(ServiceError) as excinfo:
+                        await client.request({"type": "nope"})
+                    assert excinfo.value.code == "bad_request"
+                    assert client.n_retried == 0
+
+                # saturate the queue, then a bounded client must give up:
+                # one request occupies the (slow) batcher, a second fills
+                # the queue-of-one for the next ~0.5s
+                saturators = [
+                    await RuleServiceClient.connect("127.0.0.1", service.port)
+                    for _ in range(2)
+                ]
+                await saturators[0].send(
+                    {"type": "match", "transaction": ["X = 1"]}
+                )
+                await asyncio.sleep(0.05)  # batcher picks it up, sleeps
+                await saturators[1].send(
+                    {"type": "match", "transaction": ["X = 1"]}
+                )
+                await asyncio.sleep(0.02)
+                try:
+                    async with await RuleServiceClient.connect(
+                        "127.0.0.1", service.port, max_retries=2,
+                        backoff_cap_s=0.02,
+                    ) as client:
+                        with pytest.raises(ServiceError) as excinfo:
+                            await client.match(["X = 1"])
+                        assert excinfo.value.code == "overloaded"
+                        assert client.n_retried == 2
+                finally:
+                    for saturator in saturators:
+                        await saturator.close()
             finally:
                 await service.shutdown()
 
@@ -307,3 +395,210 @@ class TestLatencyHistogram:
         assert len(hist) == 2
         assert hist.quantile(1.0) == 5.0
         assert hist.as_dict()["min_s"] == 0.0
+
+    def test_state_roundtrip_and_merge(self):
+        rng = random.Random(7)
+        left, right, everything = (
+            LatencyHistogram(),
+            LatencyHistogram(),
+            LatencyHistogram(),
+        )
+        for _ in range(2000):
+            sample = rng.uniform(1e-5, 1e-1)
+            (left if rng.random() < 0.5 else right).record(sample)
+            everything.record(sample)
+        rebuilt = LatencyHistogram.from_state(
+            json.loads(json.dumps(right.state_dict()))
+        )
+        merged = left.merge(rebuilt)  # in place, returns self
+        assert merged is left
+        assert len(left) == len(everything)
+        # bucket-level merging is exact: identical counts, identical
+        # quantiles — the property averaging per-shard p99s lacks
+        merged_state = left.state_dict()
+        exact_state = everything.state_dict()
+        # summation order differs, so the mean is equal only up to fp error
+        assert merged_state.pop("sum_s") == pytest.approx(
+            exact_state.pop("sum_s")
+        )
+        assert merged_state == exact_state
+        for q in (0.5, 0.9, 0.99):
+            assert left.quantile(q) == everything.quantile(q)
+
+    def test_merge_rejects_different_geometry(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().merge(LatencyHistogram(growth=2.0))
+        state = LatencyHistogram().state_dict()
+        state["counts"] = state["counts"][:-3]
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_state(state)
+
+
+class VersionRecordingService(SlowService):
+    """White-box probe: the index version seen by each micro-batch."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.batch_versions: list[int] = []
+
+    async def _process_batch(self, batch):
+        self.batch_versions.append(self.version)
+        await super()._process_batch(batch)
+
+
+class TestHotSwap:
+    def test_wire_reload_swaps_index(self, tmp_path):
+        old_book = RuleBook(rules=random_rules(random.Random(0), 30, 20))
+        new_book = RuleBook(rules=random_rules(random.Random(9), 45, 20))
+        new_path = tmp_path / "new.rulebook.jsonl"
+        new_book.save(new_path)
+
+        async def scenario():
+            service = RuleService.from_rulebook(old_book)
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    before = await client.healthz()
+                    assert before["version"] == 1
+                    assert before["version_tag"] == old_book.fingerprint
+                    assert before["n_rules"] == len(old_book)
+
+                    result = await client.request(
+                        {"type": "reload", "rulebook": str(new_path)}
+                    )
+                    assert result["type"] == "reload_result"
+                    assert result["version"] == 2
+                    assert result["n_rules"] == len(new_book)
+
+                    after = await client.healthz()
+                    assert after["version"] == 2
+                    assert after["version_tag"] == new_book.fingerprint
+                    assert after["n_rules"] == len(new_book)
+
+                    match = await client.match(["anything"])
+                    assert match["version"] == 2
+
+                    metrics = await client.metrics()
+                    assert metrics["requests"]["reloads"] == 1
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_wire_reload_rejects_bad_paths_and_versions(self, tmp_path):
+        book = RuleBook(rules=random_rules(random.Random(0), 20, 20))
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("this is not a rulebook\n")
+
+        async def scenario():
+            service = RuleService.from_rulebook(book)
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    with pytest.raises(ServiceError) as excinfo:
+                        await client.request(
+                            {
+                                "type": "reload",
+                                "rulebook": str(tmp_path / "missing.jsonl"),
+                            }
+                        )
+                    assert excinfo.value.code == "reload_failed"
+
+                    with pytest.raises(ServiceError) as excinfo:
+                        await client.request(
+                            {"type": "reload", "rulebook": str(garbage)}
+                        )
+                    assert excinfo.value.code == "reload_failed"
+
+                    with pytest.raises(ServiceError) as excinfo:
+                        await client.request({"type": "reload"})
+                    assert excinfo.value.code == "bad_request"
+
+                    # failed reloads leave the service on the old book
+                    health = await client.healthz()
+                    assert health["version"] == 1
+                    assert health["n_rules"] == len(book)
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_flip_lands_between_batches_under_load(self):
+        old_index = make_index(seed=0)
+        new_index = make_index(seed=9, n_rules=60)
+
+        async def scenario():
+            service = VersionRecordingService(
+                old_index, delay_s=0.005, max_batch=8
+            )
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    # phase 1 enqueued ahead of the flip, phase 2 behind
+                    for _ in range(40):
+                        await client.send(
+                            {"type": "match", "transaction": ["X = 1"]}
+                        )
+                    # the wire bytes must reach the service's queue before
+                    # the flip marker does (reload() enqueues in-process,
+                    # skipping the socket)
+                    while (
+                        service.metrics.n_matched + service._queue.qsize()
+                        < 40
+                    ):
+                        await asyncio.sleep(0.001)
+                    reload_task = asyncio.create_task(
+                        service.reload(new_index)
+                    )
+                    await asyncio.sleep(0)  # let the flip enqueue
+                    for _ in range(40):
+                        await client.send(
+                            {"type": "match", "transaction": ["X = 1"]}
+                        )
+                    responses = [await client.receive() for _ in range(80)]
+                    assert await reload_task == 2
+
+                # zero drops, zero errors under the flip
+                assert all(
+                    r["type"] == "match_result" for r in responses
+                ), responses
+                versions = [r["version"] for r in responses]
+                # request order decides the version: old then new, never
+                # interleaved — and the flip really happened mid-stream
+                assert versions == sorted(versions)
+                assert versions[0] == 1 and versions[-1] == 2
+                # every micro-batch saw exactly one version (recorded at
+                # batch entry; flips only apply between batches)
+                assert set(service.batch_versions) <= {1, 2}
+                assert service.metrics.n_matched == 80
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_offline_reload_rearms_between_runs(self):
+        async def scenario():
+            service = RuleService(make_index(seed=0))
+            version = await service.reload(
+                make_index(seed=1), version_tag="second"
+            )
+            assert version == 2
+            assert service.version_tag == "second"
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    health = await client.healthz()
+                    assert health["version"] == 2
+                    assert health["version_tag"] == "second"
+            finally:
+                await service.shutdown()
+
+        run(scenario())
