@@ -13,17 +13,44 @@ structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Sequence, Union
 
+from ..core.items import Item
 from ..core.rules import AssociationRule
+from ..core.ruletable import RuleTable
 
 __all__ = ["RuleChange", "RuleDrift", "diff_rules"]
 
-_Key = tuple[frozenset[int], frozenset[int]]
+#: rules are keyed by their *item* structure (not raw ids) so two rule
+#: sets whose vocabularies assign different ids — e.g. two canonical
+#: RuleBooks, whose id-spaces are each densified independently — still
+#: diff by rule identity
+_Key = tuple[frozenset[Item], frozenset[Item]]
+
+#: either rule-set form diff_rules accepts
+RuleSet = Union[Sequence[AssociationRule], RuleTable]
+
+#: map value: a materialised rule, or a (table, row) handle resolved
+#: lazily so stable columnar diffs never build per-rule objects
+_Entry = Union[AssociationRule, tuple[RuleTable, int]]
 
 
-def _key(rule: AssociationRule) -> _Key:
-    return (rule.antecedent_ids, rule.consequent_ids)
+def _index_by_key(rules: RuleSet) -> dict[_Key, _Entry]:
+    if isinstance(rules, RuleTable):
+        vocab = rules.vocabulary
+        return {
+            (vocab.items_of(rules.ant_row(i)), vocab.items_of(rules.cons_row(i))):
+                (rules, i)
+            for i in range(len(rules))
+        }
+    return {(r.antecedent, r.consequent): r for r in rules}
+
+
+def _materialise(entry: _Entry) -> AssociationRule:
+    if isinstance(entry, tuple):
+        table, row = entry
+        return table[row]
+    return entry
 
 
 @dataclass(frozen=True, slots=True)
@@ -92,24 +119,32 @@ class RuleDrift:
         return "\n".join(lines)
 
 
-def diff_rules(
-    before: Sequence[AssociationRule], after: Sequence[AssociationRule]
-) -> RuleDrift:
-    """Diff two rule lists by (antecedent, consequent) identity.
+def diff_rules(before: RuleSet, after: RuleSet) -> RuleDrift:
+    """Diff two rule sets by (antecedent, consequent) item identity.
 
-    Both lists must come from the same vocabulary (same item ids); this
-    holds whenever both windows were encoded by the same preprocessor,
-    e.g. via :class:`~repro.streaming.SlidingWindowMiner` snapshots.
+    Each side may be a sequence of :class:`AssociationRule` objects *or*
+    a columnar :class:`~repro.core.ruletable.RuleTable` — the canonical
+    form the streaming drift gate passes straight from the engine's
+    incremental recount, without round-tripping through object rules.
+    Rules are keyed by their item structure, so the two sets may use
+    different id-spaces (two independently canonicalised RuleBooks diff
+    correctly); rule sets sharing no items are reported as full
+    turnover (everything appeared + everything disappeared).
     """
-    before_by_key = {_key(r): r for r in before}
-    after_by_key = {_key(r): r for r in after}
+    before_by_key = _index_by_key(before)
+    after_by_key = _index_by_key(after)
     drift = RuleDrift()
-    for key, rule in after_by_key.items():
+    for key, entry in after_by_key.items():
         if key in before_by_key:
-            drift.changed.append(RuleChange(before=before_by_key[key], after=rule))
+            drift.changed.append(
+                RuleChange(
+                    before=_materialise(before_by_key[key]),
+                    after=_materialise(entry),
+                )
+            )
         else:
-            drift.appeared.append(rule)
-    for key, rule in before_by_key.items():
+            drift.appeared.append(_materialise(entry))
+    for key, entry in before_by_key.items():
         if key not in after_by_key:
-            drift.disappeared.append(rule)
+            drift.disappeared.append(_materialise(entry))
     return drift

@@ -25,6 +25,12 @@ Subcommands::
         serve the RuleBook online (newline-delimited JSON over TCP);
         --shards > 1 runs N worker processes behind a balancing router
 
+    python -m repro serve --rulebook pai.rulebook.jsonl \
+            --follow stream.ndjson [--follow-drift 0.05]
+        follow mode: additionally tail an NDJSON transaction stream,
+        maintain a sliding bitmap window, and hot-swap the fleet's
+        rulebook whenever the drift gate triggers a remine
+
     python -m repro reload-rulebook --rulebook new.jsonl --port 7317
         zero-downtime hot-swap of a running service's rulebook
 
@@ -116,6 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bounded request queue (backpressure beyond this)")
     srv.add_argument("--max-batch", type=int, default=64,
                      help="micro-batch size per scheduler wakeup")
+    srv.add_argument("--follow", default=None, metavar="STREAM",
+                     help="tail this NDJSON transaction stream and hot-swap "
+                          "the fleet's rulebook as the window drifts")
+    srv.add_argument("--follow-window", type=int, default=4096,
+                     help="sliding window size in transactions "
+                          "(rounded up to 64-transaction granules)")
+    srv.add_argument("--follow-interval", type=float, default=2.0,
+                     help="seconds between refresh ticks")
+    srv.add_argument("--follow-min-events", type=int, default=64,
+                     help="minimum new transactions before a tick runs")
+    srv.add_argument("--follow-drift", type=float, default=0.05,
+                     help="drift fraction that triggers a full remine "
+                          "(0 remines every tick)")
+    srv.add_argument("--follow-out", default="follow-books",
+                     help="directory for versioned follow-mode rulebooks")
+    srv.add_argument("--profile", action="store_true",
+                     help="print per-tick kernel attribution in follow mode")
 
     rel = sub.add_parser(
         "reload-rulebook",
@@ -298,6 +321,8 @@ def cmd_serve(args: argparse.Namespace) -> str:
     if args.shards < 1:
         raise ValueError("--shards must be >= 1")
     book = RuleBook.load(args.rulebook)  # fail fast on a bad book
+    if args.follow is not None:
+        return _serve_follow(args, book)
     if args.shards > 1:
         from .serve.shard import ShardCluster, run_cluster
 
@@ -336,6 +361,108 @@ def cmd_serve(args: argparse.Namespace) -> str:
         f"drained and stopped after {metrics.uptime_s:.1f}s: "
         f"{metrics.n_matched} matches, {metrics.n_rejected} rejected, "
         f"p99 latency {metrics.latency.quantile(0.99) * 1e3:.2f}ms"
+    )
+
+
+def _serve_follow(args: argparse.Namespace, book) -> str:
+    """Follow mode: serve + tail the stream + drift-gated hot refresh."""
+    import asyncio
+    import signal
+
+    from .serve import RuleService
+    from .streaming import RuleBookRefresher, StreamFollower, StreamingBitmapWindow
+
+    window = StreamingBitmapWindow(args.follow_window)
+    refresher = RuleBookRefresher(window, book, threshold=args.follow_drift)
+
+    def print_tick(result, stats) -> None:
+        line = f"FOLLOW_TICK {result}"
+        if result.remined:
+            line += f" saved={stats.last_book_path}"
+        print(line, flush=True)
+        if args.profile:
+            print(result.stats.render(profile=True), flush=True)
+
+    def make_follower(ports: list[int]) -> StreamFollower:
+        return StreamFollower(
+            refresher,
+            args.follow,
+            host=args.host,
+            ports=ports,
+            out_dir=args.follow_out,
+            interval_s=args.follow_interval,
+            min_events=args.follow_min_events,
+            on_tick=print_tick,
+        )
+
+    async def run() -> "object":
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if args.shards > 1:
+            from .serve.shard import ShardCluster
+
+            cluster = ShardCluster(
+                args.rulebook,
+                args.shards,
+                mode=args.shard_mode,
+                host=args.host,
+                port=args.port,
+                lb_policy=args.lb_policy,
+                max_queue=args.max_queue,
+                max_batch=args.max_batch,
+                request_timeout_s=args.request_timeout,
+            )
+            await cluster.start()
+            print(cluster.describe(), flush=True)
+            ports = (
+                [cluster.port]
+                if args.shard_mode == "router"
+                else cluster.control_ports
+            )
+            print(f"FOLLOW_READY stream={args.follow}", flush=True)
+            try:
+                return await make_follower(ports).run(stop)
+            finally:
+                await cluster.shutdown()
+        service = RuleService.from_rulebook(
+            book, max_queue=args.max_queue, max_batch=args.max_batch
+        )
+        ready = asyncio.Event()
+
+        def on_ready(svc: RuleService) -> None:
+            print(
+                f"SERVICE_READY host={args.host} port={svc.port}\n"
+                f"FOLLOW_READY stream={args.follow}",
+                flush=True,
+            )
+            ready.set()
+
+        serve_task = asyncio.create_task(
+            service.serve_forever(args.host, args.port, on_ready=on_ready)
+        )
+        await ready.wait()
+        try:
+            return await make_follower([service.port]).run(stop)
+        finally:
+            await service.shutdown()
+            await serve_task
+
+    print(
+        f"serving {book.provenance()}\n"
+        f"follow mode: window={window.window_size} "
+        f"interval={args.follow_interval}s drift>={args.follow_drift} — "
+        f"SIGTERM/Ctrl-C drains and exits",
+        flush=True,
+    )
+    stats = asyncio.run(run())
+    return (
+        f"{stats.render()}\n"
+        f"final book v{refresher.version} ({len(refresher.book)} rules)"
     )
 
 

@@ -103,6 +103,7 @@ class RuleBook:
         "fingerprint",
         "backend",
         "n_transactions",
+        "stream",
         "schema_version",
         "_table",
         "_rules",
@@ -120,6 +121,7 @@ class RuleBook:
         schema_version: int = SCHEMA_VERSION,
         *,
         table: RuleTable | None = None,
+        stream: dict | None = None,
     ):
         self.trace = trace
         self.keywords = dict(keywords) if keywords else {}
@@ -127,6 +129,9 @@ class RuleBook:
         self.fingerprint = fingerprint
         self.backend = backend
         self.n_transactions = n_transactions
+        # stream provenance (follow mode): window bounds, n_seen, trigger
+        # reason — None for batch-mined books, absent from their headers
+        self.stream = dict(stream) if stream else None
         self.schema_version = schema_version
         if table is not None:
             if rules:
@@ -229,6 +234,8 @@ class RuleBook:
             "backend": self.backend,
             "n_transactions": self.n_transactions,
         }
+        if self.stream is not None:
+            header["stream"] = self.stream
         metric_cols = [getattr(table, name) for name in _METRIC_FIELDS]
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header, sort_keys=True) + "\n")
@@ -335,6 +342,7 @@ class RuleBook:
             fingerprint=header.get("fingerprint"),
             backend=header.get("backend"),
             n_transactions=header.get("n_transactions"),
+            stream=header.get("stream"),
         )
 
     # -- derived views ---------------------------------------------------------
@@ -355,6 +363,13 @@ class RuleBook:
             parts.append(f"db={self.fingerprint[:12]}")
         if self.backend:
             parts.append(f"backend={self.backend}")
+        if self.stream:
+            window = self.stream.get("window")
+            span = f"[{window[0]},{window[1]})" if window else "?"
+            parts.append(
+                f"stream={span} of {self.stream.get('n_seen', '?')} seen, "
+                f"trigger={self.stream.get('trigger', '?')}"
+            )
         return ", ".join(parts)
 
 

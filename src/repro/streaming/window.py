@@ -52,6 +52,7 @@ class SlidingWindowMiner:
         self.vocabulary = vocabulary if vocabulary is not None else ItemVocabulary()
         self._window: deque[tuple[int, ...]] = deque()
         self._item_counts: dict[int, int] = {}
+        self._n_ids = 0
         self._n_seen = 0
 
     # -- stream interface --------------------------------------------------------
@@ -67,11 +68,13 @@ class SlidingWindowMiner:
         """Append one transaction, evicting beyond the window."""
         ids = tuple(sorted({self.vocabulary.intern(as_item(i)) for i in transaction}))
         self._window.append(ids)
+        self._n_ids += len(ids)
         for i in ids:
             self._item_counts[i] = self._item_counts.get(i, 0) + 1
         self._n_seen += 1
         if len(self._window) > self.window_size:
             evicted = self._window.popleft()
+            self._n_ids -= len(evicted)
             for i in evicted:
                 remaining = self._item_counts[i] - 1
                 if remaining:
@@ -103,7 +106,26 @@ class SlidingWindowMiner:
         return self._item_counts.get(item_id, 0) / len(self._window)
 
     def snapshot(self) -> TransactionDatabase:
-        """The current window as an immutable transaction database."""
+        """The current window as an immutable transaction database.
+
+        ``indptr`` and the flat id array are preallocated from the
+        maintained id count (``observe`` keeps a running total), so no
+        per-call Python lists are rebuilt.  The original list-building
+        path is retained as :meth:`_snapshot_lists` — the equivalence
+        oracle for the regression test.
+        """
+        n = len(self._window)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        flat = np.empty(self._n_ids, dtype=np.int32)
+        pos = 0
+        for row, txn in enumerate(self._window, start=1):
+            flat[pos:pos + len(txn)] = txn
+            pos += len(txn)
+            indptr[row] = pos
+        return TransactionDatabase(self.vocabulary, indptr, flat)
+
+    def _snapshot_lists(self) -> TransactionDatabase:
+        """The original list-building snapshot (kept as the test oracle)."""
         indptr = [0]
         flat: list[int] = []
         for txn in self._window:

@@ -1,15 +1,19 @@
 """Tests for rule-drift diffing."""
 
+import math
+
 import pytest
 
 from repro.analysis.drift import RuleDrift, diff_rules
 from repro.core import Item
 from repro.core.rules import AssociationRule
+from repro.core.ruletable import RuleTable
+from repro.serve.rulebook import RuleBook
 
 IDS = {"a": 0, "b": 1, "K": 2, "c": 3}
 
 
-def rule(ant, cons, lift=2.0, conf=0.5, supp=0.1):
+def rule(ant, cons, lift=2.0, conf=0.5, supp=0.1, leverage=0.0, conviction=1.0):
     return AssociationRule(
         antecedent=frozenset(Item.flag(t) for t in ant),
         consequent=frozenset(Item.flag(t) for t in cons),
@@ -18,8 +22,8 @@ def rule(ant, cons, lift=2.0, conf=0.5, supp=0.1):
         support=supp,
         confidence=conf,
         lift=lift,
-        leverage=0.0,
-        conviction=1.0,
+        leverage=leverage,
+        conviction=conviction,
     )
 
 
@@ -79,3 +83,69 @@ class TestDiffRules:
         drift = diff_rules([], [])
         assert drift.is_stable
         assert drift.changed == []
+
+    def test_disjoint_vocabularies_full_turnover(self):
+        # rule sets sharing no items: everything appeared + disappeared,
+        # nothing spuriously "changed"
+        before = [rule(["a"], ["K"]), rule(["b"], ["K"])]
+        after = [rule(["c"], ["b"]), rule(["K"], ["c"])]
+        drift = diff_rules(before, after)
+        assert len(drift.appeared) == 2
+        assert len(drift.disappeared) == 2
+        assert drift.changed == []
+
+
+class TestDiffRuleTables:
+    """diff_rules accepts the canonical columnar RuleTable on either side."""
+
+    def test_table_vs_objects_equivalent(self):
+        before = [rule(["a"], ["K"]), rule(["b"], ["K"], lift=4.0)]
+        after = [rule(["a"], ["K"], lift=3.0), rule(["c"], ["K"])]
+        obj_drift = diff_rules(before, after)
+        tab_drift = diff_rules(
+            RuleTable.from_rules(before), RuleTable.from_rules(after)
+        )
+        for field in ("appeared", "disappeared"):
+            assert sorted(map(str, getattr(tab_drift, field))) == sorted(
+                map(str, getattr(obj_drift, field))
+            )
+        assert {(str(c.before), c.lift_delta) for c in tab_drift.changed} == {
+            (str(c.before), c.lift_delta) for c in obj_drift.changed
+        }
+
+    def test_mixed_forms_and_different_id_spaces(self):
+        # the same rules through RuleBook canonicalisation get a densified
+        # id-space; item-keyed diffing must still see them as identical
+        rules = [rule(["a", "b"], ["K"]), rule(["c"], ["K"])]
+        book = RuleBook(rules=rules)
+        drift = diff_rules(rules, book.table)
+        assert drift.is_stable
+        assert len(drift.changed) == 2
+
+    def test_identical_tables_stable(self):
+        table = RuleTable.from_rules([rule(["a"], ["K"])])
+        drift = diff_rules(table, table)
+        assert drift.is_stable and len(drift.changed) == 1
+
+    def test_inf_nan_metrics_survive_json_round_trip(self, tmp_path):
+        # exact implications have conviction inf; a degenerate recount can
+        # produce nan — both must diff cleanly after strict-JSON save/load
+        exotic = [
+            rule(["a"], ["K"], lift=math.inf, conf=1.0, conviction=math.inf),
+            rule(["b"], ["K"], lift=2.0, leverage=math.nan),
+        ]
+        book = RuleBook(rules=exotic)
+        path = tmp_path / "exotic.jsonl"
+        book.save(path)
+        loaded = RuleBook.load(path)
+        drift = diff_rules(book.table, loaded.table)
+        assert drift.is_stable
+        by_str = {str(c.after): c.after for c in drift.changed}
+        exact = by_str[str(exotic[0])]
+        assert math.isinf(exact.conviction) and math.isinf(exact.lift)
+        assert math.isnan(by_str[str(exotic[1])].leverage)
+        # lift inf - inf is nan — delta computation must not raise
+        assert math.isnan(
+            next(c for c in drift.changed if str(c.after) == str(exotic[0]))
+            .lift_delta
+        )

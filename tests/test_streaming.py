@@ -132,3 +132,37 @@ def test_window_equals_batch_property(window, stream):
         frozenset(i.render() for i in s) for s in batch.iter_item_transactions()
     ]
     assert decoded_snap == decoded_batch
+
+
+class TestSnapshotPreallocation:
+    """The numpy-preallocated snapshot vs the retained list-building oracle."""
+
+    def test_snapshot_matches_list_oracle(self):
+        import numpy as np
+
+        miner = SlidingWindowMiner(window_size=5)
+        for k in range(12):
+            miner.observe([f"i{k % 4}", f"j{k % 3}"] + (["k"] if k % 2 else []))
+        fast, oracle = miner.snapshot(), miner._snapshot_lists()
+        assert np.array_equal(fast.indptr, oracle.indptr)
+        assert np.array_equal(fast.indices, oracle.indices)
+        assert fast.fingerprint() == oracle.fingerprint()
+
+    def test_snapshot_matches_oracle_with_empty_transactions(self):
+        import numpy as np
+
+        miner = SlidingWindowMiner(window_size=4)
+        miner.observe([])
+        miner.observe(["a"])
+        miner.observe([])
+        fast, oracle = miner.snapshot(), miner._snapshot_lists()
+        assert np.array_equal(fast.indptr, oracle.indptr)
+        assert np.array_equal(fast.indices, oracle.indices)
+
+    def test_maintained_id_total_tracks_eviction(self):
+        miner = SlidingWindowMiner(window_size=2)
+        miner.observe(["a", "b", "c"])
+        miner.observe(["a"])
+        miner.observe(["b", "c"])  # evicts the 3-item transaction
+        assert miner._n_ids == 3
+        assert len(miner.snapshot().indices) == 3
