@@ -1,0 +1,277 @@
+"""Match-kernel throughput — packed-bitmask batch kernel vs scalar index.
+
+The serving hot path has two matcher implementations that must answer
+identically:
+
+* **scalar** — :meth:`RuleIndex.match_wire`, the inverted-index
+  countdown, one job at a time (the CI oracle);
+* **batch** — :meth:`RuleIndex.match_wire_batch`, the packed-bitmask
+  kernel (:mod:`repro.serve.batchmatch`) that resolves a whole
+  micro-batch in a few NumPy passes.
+
+Two modes:
+
+* ``--check-only`` — equality sweep: brute force vs scalar vs batch on
+  a 1,000-transaction replay that includes empty jobs, duplicate items
+  and unknown vocabulary.  Exit 1 on any divergence (fired ids,
+  ranking, consequent flags, or wire bytes).
+* measured (default) — single-process jobs/s for the scalar loop and
+  for the kernel at several micro-batch sizes, with per-batch latency
+  percentiles; results land in the ``match_kernel`` section of
+  ``BENCH_serve.json``.  Unless ``--skip-trajectory`` is given, it also
+  re-measures full service round trips (the batch kernel is now the
+  service's default data plane) and appends a refreshed single-shard
+  trajectory point.
+
+The acceptance bar for the kernel itself is >= 2x the scalar loop on a
+dev box with the 1k-rule book (``--min-speedup 2``); CI runs with the
+floor at 0 and only enforces equality, because shared runners measure
+the neighbour's workload, not the kernel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_serve_throughput import N_JOBS, build_jobs, build_rulebook
+
+from repro.core.items import as_item
+from repro.serve import RuleIndex, RuleService, replay_traffic
+
+BATCH_SIZES = (16, 64, 256, 1024)
+N_CHECK_JOBS = 1000
+
+
+def build_mixed_jobs(rng: random.Random, n_jobs: int) -> list[list[str]]:
+    """Trace-shaped jobs plus the awkward cases the kernel must survive."""
+    jobs = build_jobs(rng, n_jobs)
+    for i, job in enumerate(jobs):
+        if i % 17 == 0:
+            job.append(f"Unknown Feature = {i}")  # outside the vocabulary
+        if i % 13 == 0 and job:
+            job.append(job[0])  # duplicate item
+        if i % 29 == 0:
+            jobs[i] = []  # empty transaction
+    return jobs
+
+
+def brute_force_fired(index: RuleIndex, job: list[str]) -> list[int]:
+    """Reference semantics: subset-check every rule, ids ascending."""
+    items = {as_item(text) for text in job}
+    return [
+        rule_id
+        for rule_id, rule in enumerate(index.rules)
+        if rule.antecedent <= items
+    ]
+
+
+def check_equality(index: RuleIndex, jobs: list[list[str]]) -> int:
+    """Brute force vs scalar vs batch; returns the number of divergences."""
+    failures = 0
+    batch_wire = index.match_wire_batch(jobs)
+    batch_near = index.explain_batch(jobs)
+    n_fired = n_near = 0
+    for i, job in enumerate(jobs):
+        scalar_wire = index.match_wire(job)
+        if batch_wire[i] != scalar_wire:  # ids, ranking, flags, AND bytes
+            failures += 1
+            print(f"DIVERGE wire job={i}: {batch_wire[i]!r:.80} "
+                  f"!= {scalar_wire!r:.80}")
+            continue
+        brute = brute_force_fired(index, job)
+        if [rule_id for rule_id, _ in scalar_wire] != brute:
+            failures += 1
+            print(f"DIVERGE brute job={i}")
+            continue
+        scalar_near = index.explain(job)
+        if batch_near[i] != scalar_near:
+            failures += 1
+            print(f"DIVERGE near job={i}")
+            continue
+        n_fired += len(scalar_wire)
+        n_near += len(scalar_near)
+    print(
+        f"equality sweep: {len(jobs)} jobs, {n_fired} firings, "
+        f"{n_near} near-misses, {failures} divergences"
+    )
+    if not n_fired or not n_near:
+        print("FAIL: sweep never exercised firings and near-misses")
+        return failures + 1
+    return failures
+
+
+def measure_scalar(index: RuleIndex, jobs: list[list[str]]) -> float:
+    start = time.perf_counter()
+    for job in jobs:
+        index.match_wire(job)
+    return len(jobs) / (time.perf_counter() - start)
+
+
+def measure_batch(
+    index: RuleIndex, jobs: list[list[str]], batch_size: int
+) -> dict:
+    latencies: list[float] = []
+    start = time.perf_counter()
+    for lo in range(0, len(jobs), batch_size):
+        t0 = time.perf_counter()
+        index.match_wire_batch(jobs[lo : lo + batch_size])
+        latencies.append(time.perf_counter() - t0)
+    rps = len(jobs) / (time.perf_counter() - start)
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "batch_size": batch_size,
+        "rps": round(rps, 1),
+        "p50_ms": round(quantiles[49] * 1e3, 4),
+        "p99_ms": round(quantiles[98] * 1e3, 4),
+    }
+
+
+def measure_service_rps(book, jobs: list[list[str]]) -> float:
+    """Full single-process service round trips with the kernel active."""
+
+    async def scenario():
+        service = RuleService.from_rulebook(book, max_queue=4096, max_batch=128)
+        await service.start(port=0)
+        try:
+            return await replay_traffic(
+                "127.0.0.1", service.port, jobs, concurrency=8
+            )
+        finally:
+            await service.shutdown()
+
+    stats = asyncio.run(scenario())
+    if stats.n_failed:
+        raise RuntimeError(f"service replay dropped {stats.n_failed} requests")
+    return stats.requests_per_second
+
+
+def update_bench_doc(output: Path, section: dict, point: dict | None) -> None:
+    """Write the ``match_kernel`` section, preserving the trajectory."""
+    if output.exists():
+        doc = json.loads(output.read_text())
+    else:
+        doc = {"benchmark": "serve_throughput", "trajectory": []}
+    doc["match_kernel"] = section
+    if point is not None:
+        doc.setdefault("trajectory", []).append(point)
+    output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="batch match kernel vs scalar index throughput"
+    )
+    parser.add_argument("--check-only", action="store_true",
+                        help="run the equality sweep and exit")
+    parser.add_argument("--n-jobs", type=int, default=N_JOBS)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="required best-batch/scalar ratio "
+                             "(0 = record only; use 2 on a quiet dev box)")
+    parser.add_argument("--skip-trajectory", action="store_true",
+                        help="skip the full-service single-shard "
+                             "trajectory refresh")
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parents[1]
+                        / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(20240)
+    book = build_rulebook(rng)
+    index = RuleIndex.from_rulebook(book)
+
+    if args.check_only:
+        jobs = build_mixed_jobs(rng, N_CHECK_JOBS)
+        failures = check_equality(index, jobs)
+        if failures:
+            print(f"FAIL: {failures} divergences")
+            return 1
+        print("ok: batch kernel is indistinguishable from the scalar path")
+        return 0
+
+    jobs = build_jobs(rng, args.n_jobs)
+    print(
+        f"match kernel: {len(book)} rules "
+        f"({index.kernel.n_words} mask words), {len(jobs)} jobs",
+        flush=True,
+    )
+    scalar_rps = measure_scalar(index, jobs)
+    print(f"  scalar: {scalar_rps:,.0f} jobs/s", flush=True)
+
+    batches = []
+    for batch_size in BATCH_SIZES:
+        result = measure_batch(index, jobs, batch_size)
+        result["speedup"] = round(result["rps"] / scalar_rps, 3)
+        batches.append(result)
+        print(
+            f"  batch={batch_size:<5} {result['rps']:>10,.0f} jobs/s "
+            f"({result['speedup']:.2f}x)  "
+            f"p50 {result['p50_ms']:.3f}ms  p99 {result['p99_ms']:.3f}ms",
+            flush=True,
+        )
+    best = max(batches, key=lambda r: r["rps"])
+    print(
+        f"best: batch={best['batch_size']} at {best['rps']:,.0f} jobs/s "
+        f"= {best['speedup']:.2f}x scalar",
+        flush=True,
+    )
+
+    point = None
+    if not args.skip_trajectory:
+        single_rps = measure_service_rps(book, jobs)
+        print(
+            f"single-shard service (batch kernel active): "
+            f"{single_rps:,.0f} req/s",
+            flush=True,
+        )
+        point = {
+            "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "cpu_count": os.cpu_count() or 1,
+            "n_rules": len(book),
+            "n_jobs": len(jobs),
+            "shards": 1,
+            "mode": "single",
+            "lb_policy": None,
+            "concurrency": 8,
+            "client_procs": 1,
+            "single_rps": round(single_rps, 1),
+            "sharded_rps": round(single_rps, 1),
+            "speedup": 1.0,
+            "min_speedup_enforced": 0.0,
+        }
+
+    section = {
+        "date": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count() or 1,
+        "n_rules": len(book),
+        "n_jobs": len(jobs),
+        "scalar_rps": round(scalar_rps, 1),
+        "batches": batches,
+        "best_batch_size": best["batch_size"],
+        "best_speedup": best["speedup"],
+        "min_speedup_enforced": args.min_speedup,
+    }
+    update_bench_doc(args.output, section, point)
+    print(f"match_kernel section written to {args.output}", flush=True)
+
+    if best["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: speedup {best['speedup']:.2f}x < required "
+            f"{args.min_speedup:.2f}x",
+            flush=True,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,8 @@ success, 2 on argument errors.
 from __future__ import annotations
 
 import argparse
+import itertools
+import os
 import sys
 from typing import Sequence
 
@@ -122,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="bounded request queue (backpressure beyond this)")
     srv.add_argument("--max-batch", type=int, default=64,
                      help="micro-batch size per scheduler wakeup")
+    srv.add_argument("--no-batch-kernel", action="store_true",
+                     help="answer micro-batches with the scalar inverted "
+                          "index instead of the packed-bitmask kernel")
     srv.add_argument("--follow", default=None, metavar="STREAM",
                      help="tail this NDJSON transaction stream and hot-swap "
                           "the fleet's rulebook as the window drifts")
@@ -160,15 +165,25 @@ def build_parser() -> argparse.ArgumentParser:
         "match", help="batch-match a job table through the serving index"
     )
     mat.add_argument("--rulebook", required=True, help="RuleBook path to load")
-    mat.add_argument("--trace", required=True, choices=list_traces(),
-                     help="trace whose preprocessor encodes the jobs")
+    mat.add_argument("--trace", default=None, choices=list_traces(),
+                     help="trace whose preprocessor encodes the jobs "
+                          "(required unless --jobs is given)")
     mat_source = mat.add_mutually_exclusive_group()
     mat_source.add_argument("--n-jobs", type=int, default=None)
     mat_source.add_argument("--input", default=None, help="job table CSV")
+    mat_source.add_argument("--jobs", default=None, metavar="NDJSON",
+                            help="bulk-score pre-encoded transactions: one "
+                                 "JSON array (or {\"transaction\": [...]}) "
+                                 "per line, the --follow stream format")
     mat.add_argument("--explain", action="store_true",
                      help="also count near-miss rules (one item short)")
     mat.add_argument("--top", type=int, default=15,
                      help="show at most this many rules in the summary")
+    mat.add_argument("--batch-size", type=int, default=1024,
+                     help="jobs per batch-kernel call")
+    mat.add_argument("--scalar", action="store_true",
+                     help="force the scalar inverted-index path (the "
+                          "batch kernel's equivalence oracle)")
 
     case = sub.add_parser("casestudy", help="run all Sec. IV studies for a trace")
     case.add_argument("--trace", required=True, choices=list_traces())
@@ -320,6 +335,10 @@ def cmd_serve(args: argparse.Namespace) -> str:
 
     if args.shards < 1:
         raise ValueError("--shards must be >= 1")
+    if args.no_batch_kernel:
+        # env var (not a constructor flag) so spawned shard workers
+        # inherit the toggle without control-plane plumbing
+        os.environ["REPRO_SERVE_NO_BATCH_KERNEL"] = "1"
     book = RuleBook.load(args.rulebook)  # fail fast on a bad book
     if args.follow is not None:
         return _serve_follow(args, book)
@@ -495,29 +514,87 @@ def cmd_reload_rulebook(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _iter_ndjson_transactions(path: str):
+    """Yield transactions from an NDJSON file (the --follow stream format)."""
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: bad JSON ({exc})") from exc
+            if isinstance(record, dict):
+                record = record.get("transaction")
+            if not isinstance(record, list) or not all(
+                isinstance(i, str) for i in record
+            ):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON array of item strings"
+                )
+            yield record
+
+
 def cmd_match(args: argparse.Namespace) -> str:
     from .serve import RuleBook, RuleIndex
 
     book = RuleBook.load(args.rulebook)
     index = RuleIndex.from_rulebook(book)
-    definition = get_trace(args.trace)
-    table = _load_or_generate(args)
-    db = definition.make_preprocessor().run(table).database
+    if args.jobs is not None:
+        transactions = _iter_ndjson_transactions(args.jobs)
+    else:
+        if args.trace is None:
+            raise ValueError("match needs --trace (or --jobs NDJSON)")
+        definition = get_trace(args.trace)
+        table = _load_or_generate(args)
+        db = definition.make_preprocessor().run(table).database
+        transactions = db.iter_item_transactions()
 
     fired_counts: dict[int, int] = {}
     near_counts: dict[int, int] = {}
     n_jobs = n_covered = n_firings = 0
-    for transaction in db.iter_item_transactions():
-        n_jobs += 1
-        matches = index.match(transaction)
-        if matches:
-            n_covered += 1
-            n_firings += len(matches)
-            for match in matches:
-                fired_counts[match.rule_id] = fired_counts.get(match.rule_id, 0) + 1
-        if args.explain:
-            for miss in index.explain(transaction):
-                near_counts[miss.rule_id] = near_counts.get(miss.rule_id, 0) + 1
+    if args.batch_size < 1:
+        raise ValueError("--batch-size must be >= 1")
+    if args.scalar:
+        # the inverted-index oracle: one job at a time
+        for transaction in transactions:
+            n_jobs += 1
+            matches = index.match(transaction)
+            if matches:
+                n_covered += 1
+                n_firings += len(matches)
+                for match in matches:
+                    fired_counts[match.rule_id] = (
+                        fired_counts.get(match.rule_id, 0) + 1
+                    )
+            if args.explain:
+                for miss in index.explain(transaction):
+                    near_counts[miss.rule_id] = (
+                        near_counts.get(miss.rule_id, 0) + 1
+                    )
+    else:
+        # bulk-scoring fast path: one packed-bitmask kernel call per chunk
+        transactions = iter(transactions)
+        while True:
+            chunk = list(itertools.islice(transactions, args.batch_size))
+            if not chunk:
+                break
+            n_jobs += len(chunk)
+            for wire in index.match_wire_batch(chunk):
+                if wire:
+                    n_covered += 1
+                    n_firings += len(wire)
+                    for rule_id, _ in wire:
+                        fired_counts[rule_id] = fired_counts.get(rule_id, 0) + 1
+            if args.explain:
+                for misses in index.explain_batch(chunk):
+                    for miss in misses:
+                        near_counts[miss.rule_id] = (
+                            near_counts.get(miss.rule_id, 0) + 1
+                        )
 
     lines = [
         f"matched {n_jobs} jobs against {book.provenance()}",

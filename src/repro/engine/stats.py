@@ -344,7 +344,8 @@ def aggregate_shard_metrics(shard_metrics: list[dict]) -> dict:
     answers to a ``metrics`` request: request counters under
     ``requests``, per-rule fire counts under ``rule_matches``, and the
     latency histogram both summarised (``latency``) and as raw state
-    (``latency_state``).  Counters and rule counts sum; latency merges
+    (``latency_state``).  Counters, rule counts, and the batch-kernel
+    attribution (``kernel``: batches/jobs/seconds) sum; latency merges
     at the bucket level, so the aggregate p99 is the true cluster p99,
     not an average of per-shard p99s; ``uptime_s`` is the oldest
     shard's (the cluster has been serving at least that long);
@@ -353,6 +354,7 @@ def aggregate_shard_metrics(shard_metrics: list[dict]) -> dict:
     merged_latency = LatencyHistogram()
     requests: dict[str, int] = {}
     rule_matches: dict[str, int] = {}
+    kernel: dict[str, float] = {"batches": 0, "jobs": 0, "seconds": 0.0}
     uptime_s = 0.0
     queue_depth = 0
     for metrics in shard_metrics:
@@ -363,6 +365,8 @@ def aggregate_shard_metrics(shard_metrics: list[dict]) -> dict:
             requests[key] = requests.get(key, 0) + int(value)
         for label, count in (metrics.get("rule_matches") or {}).items():
             rule_matches[label] = rule_matches.get(label, 0) + int(count)
+        for key, value in (metrics.get("kernel") or {}).items():
+            kernel[key] = kernel.get(key, 0) + value
         uptime_s = max(uptime_s, float(metrics.get("uptime_s") or 0.0))
         queue_depth += int(metrics.get("queue_depth") or 0)
     return {
@@ -372,5 +376,6 @@ def aggregate_shard_metrics(shard_metrics: list[dict]) -> dict:
         "latency": merged_latency.as_dict(),
         "latency_state": merged_latency.state_dict(),
         "requests": requests,
+        "kernel": kernel,
         "rule_matches": dict(sorted(rule_matches.items())),
     }

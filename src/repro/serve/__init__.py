@@ -9,6 +9,10 @@ package is what turns that artefact into an operator-facing capability:
 * :mod:`repro.serve.index` — :class:`RuleIndex`, an inverted
   item → rules index answering ``match``/``explain`` in time proportional
   to the job, not the book;
+* :mod:`repro.serve.batchmatch` — :class:`BatchMaskKernel`, the packed
+  uint64 bitmask matrices the index compiles per hot-swap so whole
+  micro-batches resolve in a few NumPy passes (``match_wire_batch`` /
+  ``explain_batch``), byte-identical to the scalar path;
 * :mod:`repro.serve.service` — :class:`RuleService`, an asyncio TCP
   service (newline-delimited JSON) with micro-batching, bounded-queue
   backpressure, zero-downtime rulebook hot-swap and graceful drain;
@@ -25,6 +29,7 @@ CLI entry points: ``repro mine-rulebook``, ``repro serve`` (optionally
 DESIGN.md §7 and §11).
 """
 
+from .batchmatch import BatchMaskKernel
 from .client import (
     ReplayStats,
     RuleServiceClient,
@@ -44,6 +49,7 @@ __all__ = [
     "RuleBook",
     "RuleBookSchemaError",
     "SCHEMA_VERSION",
+    "BatchMaskKernel",
     "RuleIndex",
     "Match",
     "NearMiss",

@@ -35,6 +35,15 @@ The same hit counters give *near-misses* for free: a rule whose counter
 stops one short of its antecedent size is an operator hint ("had this
 job also been multi-GPU, the failure rule would fire") — exposed as
 :meth:`RuleIndex.explain`.
+
+Beyond the scalar path, the index compiles its table into a
+:class:`~repro.serve.batchmatch.BatchMaskKernel` — packed uint64
+antecedent/consequent masks over the book's item id-space — and exposes
+batch variants (:meth:`match_wire_batch`, :meth:`match_batch`,
+:meth:`explain_batch`) that answer a whole micro-batch of jobs in a few
+NumPy subset/popcount passes.  The scalar inverted-index path is
+retained unchanged as the equivalence oracle the CI sweeps diff the
+kernel against (DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -43,17 +52,26 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+import numpy as np
+
+from ..core.bitmap import kernel_timer
 from ..core.items import Item
 from ..core.rules import AssociationRule
 from ..core.ruletable import RuleTable
+from .batchmatch import BatchMaskKernel, encode_id_transactions
 from .rulebook import RuleBook, _canonical_from_rules
 
 __all__ = ["Match", "NearMiss", "RuleIndex"]
 
-#: stop memoising unseen transaction-item spellings beyond this many
-#: cache entries — real vocabularies are a few hundred items, so growth
-#: past this means adversarial or malformed traffic
+#: bound on memoised unseen transaction-item spellings — real
+#: vocabularies are a few hundred items, so growth past this means
+#: adversarial or malformed traffic.  The cache *evicts* (FIFO) at the
+#: bound rather than shutting off, so steady-state traffic keeps its
+#: hits even after an adversarial burst has filled it.
 _CANON_CACHE_MAX = 100_000
+
+#: sentinel distinguishing "never seen" from "seen, maps to nothing"
+_UNSEEN = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,9 +123,13 @@ class RuleIndex:
         "_ant_keys",
         "_cons_keys",
         "_canon",
+        "_canon_extra",
         "_item_of",
+        "_id_of",
+        "_items_by_id",
         "_wire",
         "_wire_json",
+        "_kernel",
     )
 
     def __init__(
@@ -129,16 +151,20 @@ class RuleIndex:
 
         vocabulary = table.vocabulary
         postings: dict[str, list[int]] = {}
-        #: any accepted spelling → canonical key (None = known, not indexed)
-        canon: dict[str, str | None] = {}
+        #: built-in accepted spelling → canonical key (vocabulary items)
+        canon: dict[str, str] = {}
         item_of: dict[str, Item] = {}
+        id_of: dict[str, int] = {}
+        items_by_id: list[Item] = []
         keys_by_id: list[str] = []
         renders_by_id: list[str] = []
-        for item in vocabulary:
+        for item_id, item in enumerate(vocabulary):
             key = str(item)
             canon[key] = key
             canon[item.render()] = key
             item_of[key] = item
+            id_of[key] = item_id
+            items_by_id.append(item)
             keys_by_id.append(key)
             renders_by_id.append(item.render())
 
@@ -174,7 +200,14 @@ class RuleIndex:
             )
         self._postings = postings
         self._canon = canon
+        #: learned spelling → canonical key or None; bounded, FIFO-evicted
+        self._canon_extra: dict[str, str | None] = {}
         self._item_of = item_of
+        self._id_of = id_of
+        self._items_by_id = items_by_id
+        # compiled once per index build — i.e. once per hot-swap, since a
+        # reload always carries a fresh RuleIndex through the flip marker
+        self._kernel = BatchMaskKernel(table)
 
     @classmethod
     def from_rulebook(cls, book: RuleBook) -> "RuleIndex":
@@ -211,25 +244,33 @@ class RuleIndex:
         """Transaction → set of canonical item keys (unknown items drop).
 
         First sight of an unseen spelling parses it once and memoises
-        the outcome, so steady-state traffic never constructs
-        :class:`Item` objects.
+        the outcome in a *bounded* side cache, so steady-state traffic
+        never constructs :class:`Item` objects.  At capacity the oldest
+        learned spelling is evicted (dict insertion order = FIFO) — the
+        cache keeps memoising under adversarial vocabulary churn instead
+        of silently re-parsing every unseen spelling forever.
         """
         canon = self._canon
+        extra = self._canon_extra
         keys: set[str] = set()
         for element in transaction:
             text = element if isinstance(element, str) else str(element)
             mapped = canon.get(text)
-            if mapped is not None:
-                keys.add(mapped)
-                continue
-            if text in canon:  # known, but not an indexed item
-                continue
-            mapped = canon.get(str(Item.parse(text)))
-            if len(canon) < _CANON_CACHE_MAX:
-                canon[text] = mapped
+            if mapped is None:
+                mapped = extra.get(text, _UNSEEN)
+                if mapped is _UNSEEN:
+                    mapped = canon.get(str(Item.parse(text)))
+                    if len(extra) >= _CANON_CACHE_MAX:
+                        extra.pop(next(iter(extra)))
+                    extra[text] = mapped
             if mapped is not None:
                 keys.add(mapped)
         return keys
+
+    @property
+    def canon_cache_len(self) -> int:
+        """Learned (non-vocabulary) spellings currently memoised."""
+        return len(self._canon_extra)
 
     def _count_hits(self, keys: set[str]) -> dict[int, int]:
         """Antecedent hit counter per candidate rule (the countdown core)."""
@@ -316,6 +357,111 @@ class RuleIndex:
                 )
             )
         return near
+
+    # -- batch matching (packed-bitmask kernel) ----------------------------------
+    @property
+    def kernel(self) -> BatchMaskKernel:
+        """The compiled packed-bitmask kernel backing the batch paths."""
+        return self._kernel
+
+    def encode_batch(
+        self, transactions: Iterable[Iterable[Item | str]]
+    ) -> np.ndarray:
+        """Encode jobs into a ``(n_jobs, n_words)`` uint64 bit-matrix.
+
+        Each job goes through the same memoised canonicaliser as the
+        scalar path (so unknown items drop and duplicates collapse),
+        then its item ids are packed with the rule masks' bit layout.
+        """
+        id_of = self._id_of
+        id_rows = [
+            [id_of[key] for key in self._normalize(transaction)]
+            for transaction in transactions
+        ]
+        return encode_id_transactions(id_rows, self._kernel.n_words)
+
+    def _fired_pairs(
+        self, jobs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(job_idx, rule_idx, consequent_observed) over one encoded batch.
+
+        ``np.nonzero`` on the row-major fired matrix yields rule ids
+        ascending within each job — the canonical lift ranking, same as
+        the scalar path's sorted fired ids.
+        """
+        fired = self._kernel.fired_mask(jobs)
+        job_idx, rule_idx = np.nonzero(fired)
+        cons_ok = self._kernel.cons_observed(jobs, job_idx, rule_idx)
+        return job_idx, rule_idx, cons_ok
+
+    def match_wire_batch(
+        self, transactions: list
+    ) -> list[list[tuple[int, str]]]:
+        """Batch form of :meth:`match_wire`: one kernel call, all jobs.
+
+        Returns one ``[(rule_id, encoded fragment), ...]`` list per
+        input job, byte-identical to calling :meth:`match_wire` on each
+        job individually — proven by the CI equality sweeps.
+        """
+        out: list[list[tuple[int, str]]] = [[] for _ in transactions]
+        if not out or not len(self._table):
+            return out
+        with kernel_timer("serve-batch-match"):
+            jobs = self.encode_batch(transactions)
+            job_idx, rule_idx, cons_ok = self._fired_pairs(jobs)
+        wire_json = self._wire_json
+        for j, r, c in zip(
+            job_idx.tolist(), rule_idx.tolist(), cons_ok.tolist()
+        ):
+            out[j].append((r, wire_json[r][c]))
+        return out
+
+    def match_batch(self, transactions: list) -> list[list[Match]]:
+        """Batch form of :meth:`match`: ranked :class:`Match` lists."""
+        out: list[list[Match]] = [[] for _ in transactions]
+        if not out or not len(self._table):
+            return out
+        with kernel_timer("serve-batch-match"):
+            jobs = self.encode_batch(transactions)
+            job_idx, rule_idx, cons_ok = self._fired_pairs(jobs)
+        rules = self.rules
+        wire = self._wire
+        for j, r, c in zip(
+            job_idx.tolist(), rule_idx.tolist(), cons_ok.tolist()
+        ):
+            out[j].append(
+                Match(
+                    rule=rules[r],
+                    rule_id=r,
+                    consequent_observed=c,
+                    _wire=wire[r],
+                )
+            )
+        return out
+
+    def explain_batch(self, transactions: list) -> list[list[NearMiss]]:
+        """Batch form of :meth:`explain`: one-item-short rules per job.
+
+        The missing item is read straight out of ``ant & ~job`` — for a
+        near-miss pair that difference has exactly one set bit.
+        """
+        out: list[list[NearMiss]] = [[] for _ in transactions]
+        if not out or not len(self._table):
+            return out
+        with kernel_timer("serve-batch-explain"):
+            jobs = self.encode_batch(transactions)
+            near = self._kernel.near_mask(jobs)
+            job_idx, rule_idx = np.nonzero(near)
+            missing = self._kernel.missing_ids(jobs, job_idx, rule_idx)
+        rules = self.rules
+        items_by_id = self._items_by_id
+        for j, r, m in zip(
+            job_idx.tolist(), rule_idx.tolist(), missing.tolist()
+        ):
+            out[j].append(
+                NearMiss(rule=rules[r], rule_id=r, missing=items_by_id[m])
+            )
+        return out
 
     def iter_rule_labels(self) -> Iterator[str]:
         """Stable per-rule labels (``{ant} => {cons}``) for metrics keys."""

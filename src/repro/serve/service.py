@@ -30,6 +30,16 @@ Design points, mirroring what a production sidecar needs:
   one pass.  Under load this amortises task wakeups; under light load
   the first request is served immediately (no artificial batching
   delay).
+* **Batch match kernel** — a drained micro-batch with two or more plain
+  match requests is answered by *one*
+  :meth:`~repro.serve.index.RuleIndex.match_wire_batch` call: the whole
+  batch is encoded into a packed uint64 bit-matrix and resolved against
+  the index's compiled antecedent/consequent masks in a few NumPy
+  passes (DESIGN.md §13).  Answers are byte-identical to the scalar
+  inverted-index path, which is kept for singleton batches, ``explain``
+  requests, and as the CI equivalence oracle.  ``batch_kernel=False``
+  (or the ``REPRO_SERVE_NO_BATCH_KERNEL`` environment variable, which
+  shard workers inherit) forces the scalar path everywhere.
 * **Explicit backpressure** — when the queue is full the request is
   rejected *immediately* with ``{"type": "error", "error": "overloaded",
   "retry_after": ...}`` rather than buffered without bound.  Callers see
@@ -59,6 +69,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import socket
 import time
@@ -105,6 +116,9 @@ class ServiceMetrics:
         "n_bad_requests",
         "n_batches",
         "n_reloads",
+        "n_kernel_batches",
+        "n_kernel_jobs",
+        "kernel_seconds",
         "rule_matches",
     )
 
@@ -116,6 +130,11 @@ class ServiceMetrics:
         self.n_bad_requests = 0
         self.n_batches = 0
         self.n_reloads = 0
+        # batch-kernel attribution: how much of the serving wall time the
+        # packed-bitmask matcher absorbed, and over how many jobs
+        self.n_kernel_batches = 0
+        self.n_kernel_jobs = 0
+        self.kernel_seconds = 0.0
         self.rule_matches: dict[int, int] = {}
 
     @property
@@ -135,6 +154,11 @@ class ServiceMetrics:
                 "bad": self.n_bad_requests,
                 "batches": self.n_batches,
                 "reloads": self.n_reloads,
+            },
+            "kernel": {
+                "batches": self.n_kernel_batches,
+                "jobs": self.n_kernel_jobs,
+                "seconds": self.kernel_seconds,
             },
             "rule_matches": {
                 index.rule_label(rule_id): count
@@ -195,11 +219,17 @@ class RuleService:
         version: int = 1,
         version_tag: str | None = None,
         name: str | None = None,
+        batch_kernel: bool | None = None,
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if batch_kernel is None:
+            # env fallback so spawned shard workers inherit the choice
+            # without threading a flag through the cluster control plane
+            batch_kernel = not os.environ.get("REPRO_SERVE_NO_BATCH_KERNEL")
+        self.batch_kernel = bool(batch_kernel)
         self.index = index
         self.version = version
         self.version_tag = version_tag
@@ -528,17 +558,51 @@ class RuleService:
     async def _process_batch(
         self, batch: list[tuple[dict, float, asyncio.Future]]
     ) -> None:
-        """Answer one micro-batch (overridable seam for tests)."""
+        """Answer one micro-batch (overridable seam for tests).
+
+        With the batch kernel enabled, all plain (non-``explain``) match
+        requests of the batch are answered by a single
+        :meth:`RuleIndex.match_wire_batch` call; singleton batches and
+        ``explain`` requests take the scalar path, whose answers are
+        byte-identical.
+        """
         self.metrics.n_batches += 1
         record = self.metrics.latency.record
         now = time.perf_counter
         # captured once: every response of this batch carries one version
         index = self.index
         version = self.version
-        for request, enqueued_at, future in batch:
+        plain: list[tuple[dict, float, asyncio.Future]] = []
+        for entry in batch:
+            request, enqueued_at, future = entry
             if future.cancelled():  # pragma: no cover - client vanished
                 continue
+            if self.batch_kernel and not request.get("explain"):
+                plain.append(entry)
+                continue
             line = self._match_line(request, index, version)
+            record(now() - enqueued_at)
+            future.set_result(line)
+        if not plain:
+            return
+        if len(plain) == 1:
+            # one job cannot amortise a kernel launch; scalar countdown
+            request, enqueued_at, future = plain[0]
+            line = self._match_line(request, index, version)
+            record(now() - enqueued_at)
+            future.set_result(line)
+            return
+        started = now()
+        wire_lists = index.match_wire_batch(
+            [request["transaction"] for request, _, _ in plain]
+        )
+        finished = now()
+        metrics = self.metrics
+        metrics.n_kernel_batches += 1
+        metrics.n_kernel_jobs += len(plain)
+        metrics.kernel_seconds += finished - started
+        for (request, enqueued_at, future), wire in zip(plain, wire_lists):
+            line = self._wire_line(request, wire, version)
             record(now() - enqueued_at)
             future.set_result(line)
 
@@ -552,9 +616,9 @@ class RuleService:
         encoded per request is the echoed request id.
         """
         transaction: Iterable[Item | str] = request["transaction"]
-        self.metrics.n_matched += 1
-        rule_matches = self.metrics.rule_matches
         if request.get("explain"):
+            self.metrics.n_matched += 1
+            rule_matches = self.metrics.rule_matches
             fired = index.match(transaction)
             for match in fired:
                 rule_matches[match.rule_id] = (
@@ -571,7 +635,18 @@ class RuleService:
                     ],
                 }
             )
-        wire = index.match_wire(transaction)
+        return self._wire_line(request, index.match_wire(transaction), version)
+
+    def _wire_line(
+        self, request: dict, wire: list[tuple[int, str]], version: int
+    ) -> bytes:
+        """Assemble a ``match_result`` line from per-rule wire fragments.
+
+        Shared by the scalar and batch paths, so both produce the exact
+        same bytes for the same fired set.
+        """
+        self.metrics.n_matched += 1
+        rule_matches = self.metrics.rule_matches
         for rule_id, _ in wire:
             rule_matches[rule_id] = rule_matches.get(rule_id, 0) + 1
         return (

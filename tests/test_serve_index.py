@@ -2,6 +2,7 @@
 
 import random
 
+import repro.serve.index as index_mod
 from repro.core.items import Item, as_item
 from repro.serve import RuleBook, RuleIndex
 
@@ -120,3 +121,157 @@ class TestMatching:
         assert len(labels) == 10
         assert labels[0] == index.rule_label(0)
         assert " => " in labels[0]
+
+
+def _random_batch(rng, vocabulary, n_jobs):
+    """Mixed micro-batch: empty jobs, duplicates, unknown vocabulary."""
+    batch = [[], list(vocabulary)]  # empty + every-item extremes
+    for _ in range(n_jobs - len(batch)):
+        # sample WITH replacement so duplicate items occur naturally
+        job = [rng.choice(vocabulary) for _ in range(rng.randint(0, 12))]
+        if rng.random() < 0.3:
+            job.append(f"Unknown Feature = {rng.randint(0, 99)}")
+        if rng.random() < 0.1:
+            job.append("not an item at all ☃")
+        rng.shuffle(job)
+        batch.append(job)
+    rng.shuffle(batch)
+    return batch
+
+
+class TestBatchParity:
+    """The packed-bitmask kernel must be indistinguishable from scalar."""
+
+    def _index(self, seed, n_rules=250, n_items=45):
+        rng = random.Random(seed)
+        book = RuleBook(rules=random_rules(rng, n_rules, n_items=n_items))
+        return rng, RuleIndex.from_rulebook(book)
+
+    def test_match_wire_batch_is_byte_identical_to_scalar(self):
+        rng, index = self._index(100)
+        vocabulary = [
+            str(item)
+            for rule in index.rules
+            for item in (*rule.antecedent, *rule.consequent)
+        ]
+        batch = _random_batch(rng, vocabulary, 200)
+        got = index.match_wire_batch(batch)
+        expected = [index.match_wire(job) for job in batch]
+        assert got == expected  # same ids, same ranking, same wire bytes
+        assert any(got), "batch never fired a rule — vocabulary too sparse"
+
+    def test_match_batch_parity_including_consequent_flags(self):
+        rng, index = self._index(101)
+        vocabulary = [str(item) for item in RuleBook(
+            rules=index.rules
+        ).vocabulary()]
+        batch = _random_batch(rng, vocabulary, 150)
+        got = index.match_batch(batch)
+        expected = [index.match(job) for job in batch]
+        assert got == expected
+        flags = [m.consequent_observed for row in got for m in row]
+        assert True in flags and False in flags
+
+    def test_explain_batch_parity(self):
+        rng, index = self._index(102)
+        vocabulary = [str(item) for item in RuleBook(
+            rules=index.rules
+        ).vocabulary()]
+        batch = _random_batch(rng, vocabulary, 150)
+        got = index.explain_batch(batch)
+        expected = [index.explain(job) for job in batch]
+        assert got == expected
+        assert any(got), "batch never produced a near-miss"
+
+    def test_batch_agrees_with_brute_force(self):
+        rng, index = self._index(103, n_rules=120, n_items=30)
+        vocabulary = [str(item) for item in RuleBook(
+            rules=index.rules
+        ).vocabulary()]
+        batch = _random_batch(rng, vocabulary, 120)
+        for job, matches, nears in zip(
+            batch, index.match_batch(batch), index.explain_batch(batch)
+        ):
+            assert [m.rule for m in matches] == brute_force_match(
+                index.rules, job
+            )
+            assert [n.rule for n in nears] == brute_force_near(
+                index.rules, job
+            )
+            items = {as_item(i) for i in job}
+            for near in nears:
+                assert near.missing in near.rule.antecedent
+                assert near.missing not in items
+
+    def test_empty_batch_and_empty_book(self):
+        _, index = self._index(104)
+        assert index.match_wire_batch([]) == []
+        assert index.match_batch([]) == []
+        assert index.explain_batch([]) == []
+        empty = RuleIndex.from_rulebook(RuleBook(rules=[]))
+        assert empty.match_wire_batch([["A = 1"], []]) == [[], []]
+        assert empty.explain_batch([["A = 1"]]) == [[]]
+
+
+class _CountingItem:
+    """Stand-in for the Item class that counts ``parse`` invocations."""
+
+    def __init__(self):
+        self.n_parse = 0
+
+    def parse(self, text):
+        self.n_parse += 1
+        return Item.parse(text)
+
+
+class TestCanonCache:
+    """The learned-spelling cache must stay bounded AND keep memoising."""
+
+    def _fresh(self, monkeypatch, cache_max):
+        monkeypatch.setattr(index_mod, "_CANON_CACHE_MAX", cache_max)
+        counter = _CountingItem()
+        monkeypatch.setattr(index_mod, "Item", counter)
+        book = RuleBook(rules=random_rules(random.Random(9), 30, n_items=20))
+        return RuleIndex.from_rulebook(book), counter
+
+    def test_cache_size_stays_bounded(self, monkeypatch):
+        index, _ = self._fresh(monkeypatch, cache_max=8)
+        for i in range(100):
+            index.match([f"Churn Feature = {i}"])
+            assert index.canon_cache_len <= 8
+        assert index.canon_cache_len == 8
+
+    def test_steady_state_still_memoises_at_capacity(self, monkeypatch):
+        # regression: the old cache stopped inserting once full, so every
+        # post-capacity unseen spelling re-parsed forever
+        index, counter = self._fresh(monkeypatch, cache_max=4)
+        for i in range(10):  # overflow the cache
+            index.match([f"Churn Feature = {i}"])
+        assert counter.n_parse == 10
+        for _ in range(5):  # newest spellings must be cache hits
+            index.match(["Churn Feature = 9", "Churn Feature = 8"])
+        assert counter.n_parse == 10, "cache stopped memoising at capacity"
+
+    def test_fifo_eviction_order(self, monkeypatch):
+        index, counter = self._fresh(monkeypatch, cache_max=2)
+        index.match(["Spelling A"])
+        index.match(["Spelling B"])
+        index.match(["Spelling C"])  # evicts A (oldest)
+        assert counter.n_parse == 3
+        index.match(["Spelling C"])  # hit
+        index.match(["Spelling B"])  # hit
+        assert counter.n_parse == 3
+        index.match(["Spelling A"])  # miss — was evicted
+        assert counter.n_parse == 4
+
+    def test_matching_unaffected_by_cache_churn(self, monkeypatch):
+        # vocabulary spellings live in the static canon map, so unknown
+        # spelling churn (fills + evictions) must never change answers
+        index, _ = self._fresh(monkeypatch, cache_max=3)
+        rule = index.rules[0]
+        job = [str(item) for item in rule.antecedent]
+        first = [m.rule_id for m in index.match(job)]
+        assert 0 in first
+        for i in range(10):
+            index.match(job + [f"Churn Feature = {i}"])
+        assert [m.rule_id for m in index.match(job)] == first

@@ -156,6 +156,126 @@ class TestProtocol:
         run(scenario())
 
 
+class TestBatchKernel:
+    def test_batched_requests_hit_kernel_and_agree_with_index(self):
+        index = make_index(seed=21)
+        vocabulary = sorted(
+            {str(i) for rule in index.rules for i in rule.antecedent}
+        )
+        rng = random.Random(23)
+        transactions = [
+            rng.sample(vocabulary, rng.randint(0, 8)) for _ in range(16)
+        ]
+
+        async def one_client(port, transaction):
+            async with await RuleServiceClient.connect("127.0.0.1", port) as c:
+                return await c.match(transaction)
+
+        async def scenario():
+            # a slow batcher piles concurrent requests into shared
+            # micro-batches, so the kernel path (>= 2 plain jobs) runs
+            service = SlowService(index, delay_s=0.05, max_batch=64)
+            await service.start(port=0)
+            try:
+                results = await asyncio.gather(
+                    *(
+                        one_client(service.port, t)
+                        for t in transactions
+                    )
+                )
+                for transaction, response in zip(transactions, results):
+                    expected = [m.rule_id for m in index.match(transaction)]
+                    got = [m["rule_id"] for m in response["fired"]]
+                    assert got == expected
+                metrics = service.metrics.as_dict(index)
+                assert metrics["kernel"]["batches"] >= 1
+                assert metrics["kernel"]["jobs"] >= 2
+                assert metrics["kernel"]["seconds"] >= 0.0
+                assert metrics["requests"]["matched"] == len(transactions)
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_scalar_fallback_answers_identically(self):
+        index = make_index(seed=21)
+        transaction = [str(i) for i in index.rules[0].antecedent]
+
+        async def one_client(port):
+            async with await RuleServiceClient.connect("127.0.0.1", port) as c:
+                return await c.match(transaction)
+
+        async def scenario():
+            service = SlowService(
+                index, delay_s=0.05, max_batch=64, batch_kernel=False
+            )
+            await service.start(port=0)
+            try:
+                results = await asyncio.gather(
+                    *(one_client(service.port) for _ in range(8))
+                )
+                expected = [m.rule_id for m in index.match(transaction)]
+                for response in results:
+                    assert [m["rule_id"] for m in response["fired"]] == expected
+                metrics = service.metrics.as_dict(index)
+                assert metrics["kernel"]["batches"] == 0
+                assert metrics["kernel"]["jobs"] == 0
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_no_batch_kernel_env_var_disables_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_NO_BATCH_KERNEL", "1")
+        assert RuleService(make_index()).batch_kernel is False
+        monkeypatch.delenv("REPRO_SERVE_NO_BATCH_KERNEL")
+        assert RuleService(make_index()).batch_kernel is True
+
+    def test_explain_requests_take_scalar_path(self):
+        index = make_index(seed=21)
+        transaction = [str(i) for i in index.rules[0].antecedent]
+
+        async def scenario():
+            service = RuleService(index)
+            await service.start(port=0)
+            try:
+                async with await RuleServiceClient.connect(
+                    "127.0.0.1", service.port
+                ) as client:
+                    result = await client.match(transaction, explain=True)
+                    assert "near_misses" in result
+                    assert service.metrics.n_kernel_batches == 0
+            finally:
+                await service.shutdown()
+
+        run(scenario())
+
+    def test_shard_aggregation_sums_kernel_sections(self):
+        from repro.engine.stats import aggregate_shard_metrics
+
+        index = make_index()
+        shard_a = RuleService(index)
+        shard_a.metrics.n_kernel_batches = 3
+        shard_a.metrics.n_kernel_jobs = 40
+        shard_a.metrics.kernel_seconds = 0.25
+        shard_b = RuleService(index)
+        shard_b.metrics.n_kernel_batches = 2
+        shard_b.metrics.n_kernel_jobs = 10
+        shard_b.metrics.kernel_seconds = 0.5
+        merged = aggregate_shard_metrics(
+            [shard_a.metrics.as_dict(index), shard_b.metrics.as_dict(index)]
+        )
+        assert merged["kernel"]["batches"] == 5
+        assert merged["kernel"]["jobs"] == 50
+        assert merged["kernel"]["seconds"] == pytest.approx(0.75)
+        # pre-kernel shard payloads (rolling upgrade) still aggregate
+        legacy = {"requests": {"matched": 1}}
+        merged = aggregate_shard_metrics(
+            [legacy, shard_a.metrics.as_dict(index)]
+        )
+        assert merged["kernel"]["batches"] == 3
+
+
 class TestBackpressure:
     def test_overload_rejected_with_retry_after(self):
         async def scenario():
