@@ -206,7 +206,11 @@ def run(n_jobs: int, repeats: int, check_only: bool) -> dict:
     }
 
     if not check_only:
-        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        # merge-preserve: other benches (bench_shm_swap.py) park their
+        # own sections in the same artifact
+        doc = json.loads(JSON_PATH.read_text()) if JSON_PATH.exists() else {}
+        doc.update(payload)
+        JSON_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
         lines = [
             "Mining throughput — packed-bitmap kernels vs legacy paths",
             f"PAI trace, {n_jobs} jobs ({n} transactions), "

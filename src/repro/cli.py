@@ -53,6 +53,7 @@ from .analysis import InterpretableAnalysis, format_rule_table, full_case_study
 from .core import MiningConfig
 from .dataframe import ColumnTable
 from .engine import BACKENDS, MiningEngine
+from .shm.segment import NO_SHM_ENV
 from .traces import get_trace, list_traces
 from .traces.loader import load_trace, save_trace
 
@@ -127,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--no-batch-kernel", action="store_true",
                      help="answer micro-batches with the scalar inverted "
                           "index instead of the packed-bitmask kernel")
+    srv.add_argument("--no-shm", action="store_true",
+                     help="disable the shared-memory rule plane: every "
+                          "shard compiles its own index from the rulebook")
     srv.add_argument("--follow", default=None, metavar="STREAM",
                      help="tail this NDJSON transaction stream and hot-swap "
                           "the fleet's rulebook as the window drifts")
@@ -225,11 +229,18 @@ def _add_engine_flags(sub: argparse.ArgumentParser) -> None:
                      help="worker count for threaded/process backends")
     sub.add_argument("--no-cache", action="store_true",
                      help="disable the content-addressed itemset cache")
+    sub.add_argument("--no-shm", action="store_true",
+                     help="disable the shared-memory data plane (the "
+                          "process backend ships pickled partitions)")
     sub.add_argument("--profile", action="store_true",
                      help="show per-stage kernel attribution in the stats footer")
 
 
 def _engine_from(args: argparse.Namespace) -> MiningEngine:
+    if getattr(args, "no_shm", False):
+        # env var (not a constructor flag) so process-backend workers
+        # inherit the toggle regardless of start method
+        os.environ[NO_SHM_ENV] = "1"
     return MiningEngine(
         backend=args.backend,
         n_workers=args.workers,
@@ -339,6 +350,9 @@ def cmd_serve(args: argparse.Namespace) -> str:
         # env var (not a constructor flag) so spawned shard workers
         # inherit the toggle without control-plane plumbing
         os.environ["REPRO_SERVE_NO_BATCH_KERNEL"] = "1"
+    if args.no_shm:
+        # same trick: shard workers and the follow loop see it too
+        os.environ[NO_SHM_ENV] = "1"
     book = RuleBook.load(args.rulebook)  # fail fast on a bad book
     if args.follow is not None:
         return _serve_follow(args, book)

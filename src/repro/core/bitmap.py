@@ -249,8 +249,8 @@ def get_shared_bitmaps(db: "TransactionDatabase") -> PackedBitmaps:
     """Bitmaps for *db*, shared across equal-content databases.
 
     Keyed by :meth:`TransactionDatabase.fingerprint`, so a re-generated
-    trace, a cache-restored database, or a forked worker's copy all
-    resolve to one build.  Falls through to a fresh
+    trace, a cache-restored database, or an shm-attached worker's copy
+    all resolve to one build.  Falls through to a fresh
     :meth:`PackedBitmaps.from_database` on a miss (recorded under the
     ``bitmap-build`` kernel counter).
     """

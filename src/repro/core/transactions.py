@@ -39,6 +39,7 @@ class TransactionDatabase:
         "vocabulary",
         "indptr",
         "indices",
+        "shm_segment",
         "_bitmaps_cache",
         "_fingerprint_cache",
     )
@@ -62,6 +63,10 @@ class TransactionDatabase:
             self.indices.min() < 0 or self.indices.max() >= len(vocabulary)
         ):
             raise ValueError("item id out of vocabulary range")
+        #: the shared-memory attachment backing this database's arrays,
+        #: when it came from repro.shm.attach_database — kept here so the
+        #: segment mapping lives exactly as long as the views into it
+        self.shm_segment = None
         self._bitmaps_cache = None
         self._fingerprint_cache: str | None = None
 
@@ -227,7 +232,9 @@ class TransactionDatabase:
         Built lazily; the instance caches a reference, and the build
         itself is shared through a content-addressed cache keyed by
         :meth:`fingerprint`, so equal-content databases (re-generated
-        traces, forked workers) reuse one build.  At trace scale this is
+        traces, repeated runs) reuse one build — and databases attached
+        from a shared-memory segment (:mod:`repro.shm`) arrive with this
+        cache pre-seeded by zero-copy views.  At trace scale this is
         8× smaller than the dense boolean matrix it replaced —
         ``n_items × n_transactions`` *bits*, not bytes.
         """

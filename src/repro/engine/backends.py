@@ -7,9 +7,15 @@ answer-identical — they change the execution plan only:
 * ``serial`` — one in-process pass of the configured algorithm;
 * ``threaded`` — SON two-phase over a thread pool (phase 2 is numpy
   bitmap counting, which releases the GIL);
-* ``process`` — SON two-phase over a fork-based process pool, the shape
-  distributed miners (Spark SON) use at cluster scale;
+* ``process`` — SON two-phase over a process pool fed by the
+  shared-memory data plane (:mod:`repro.shm`), the shape distributed
+  miners (Spark SON) use at cluster scale — spawn-safe, since workers
+  attach the published database instead of relying on fork inheritance;
 * ``auto`` — picks one of the above from the database size.
+
+Each backend reports the plan it actually executed through
+``effective_plan`` (and ``downgraded`` when a fallback was taken), which
+the engine surfaces in :class:`~repro.engine.stats.EngineStats`.
 
 Backends register in :data:`BACKENDS`, mirroring the
 :data:`~repro.core.mining.ALGORITHMS` registry one layer down.
@@ -28,12 +34,13 @@ from ..core.bitmap import PackedBitmaps
 from ..core.itemsets import FrequentItemsets
 from ..core.mining import ALGORITHMS, MiningConfig
 from ..core.transactions import TransactionDatabase
-from ..parallel import partition as _partition
 from ..parallel.partition import (
-    _forked_local_candidates,
     count_candidates,
     local_candidates,
+    shm_local_candidates,
 )
+from ..shm.database import publish_database
+from ..shm.segment import NO_SHM_ENV, SegmentError, shm_available
 
 __all__ = [
     "ExecutionBackend",
@@ -50,7 +57,7 @@ __all__ = [
 
 #: auto selection: below this many transactions a serial pass wins
 #: (partitioning overhead dominates), above it threads help, and past the
-#: process threshold fork-based workers amortise their startup cost
+#: process threshold worker processes amortise their startup cost
 AUTO_THREADED_THRESHOLD = 50_000
 AUTO_PROCESS_THRESHOLD = 250_000
 
@@ -74,6 +81,9 @@ class SerialBackend:
     """Single in-process pass of the configured algorithm."""
 
     name = "serial"
+    #: the plan actually executed — constant here, dynamic for process
+    effective_plan = "serial"
+    downgraded = False
 
     def mine(self, db: TransactionDatabase, config: MiningConfig) -> FrequentItemsets:
         algorithm = ALGORITHMS[config.algorithm]
@@ -105,6 +115,8 @@ class _PartitionedBackend:
 
     name = "partitioned"
     _executor_cls: type[Executor]
+    effective_plan: str | None = None
+    downgraded = False
 
     def __init__(self, n_workers: int | None = None, n_partitions: int | None = None):
         if n_workers is None:
@@ -199,6 +211,7 @@ class ThreadedBackend(_PartitionedBackend):
 
     name = "threaded"
     _executor_cls = ThreadPoolExecutor
+    effective_plan = "threaded"
 
     #: below this many candidates, thread dispatch costs more than it saves
     _PHASE2_CHUNK_MIN = 256
@@ -225,18 +238,28 @@ class ThreadedBackend(_PartitionedBackend):
 
 
 class ProcessBackend(_PartitionedBackend):
-    """SON over a fork-based process pool (the distributed-miner shape).
+    """SON over a process pool fed by the shared-memory data plane.
 
-    When the platform supports the ``fork`` start method, workers inherit
-    the parent's database *and its already-built packed bitmaps* through
-    copy-on-write pages: phase 1 ships only ``(start, stop)`` transaction
-    spans, and each child takes a zero-copy ``txn_range`` view whose
-    bitmaps are word slices of the parent's.  Without fork (spawn-only
-    platforms) it falls back to pickling whole partitions.
+    The parent publishes the database — CSR arrays plus the already-built
+    packed bitmaps — into one shared-memory segment
+    (:func:`repro.shm.publish_database`) and phase 1 ships only
+    ``(segment name, start, stop)`` per span.  Each worker attaches
+    read-only zero-copy views and takes a ``txn_range`` view whose
+    bitmaps are word slices of the published build, so no worker ever
+    re-derives a vertical representation — under *any* start method,
+    spawn included.  When shared memory is unavailable (or disabled via
+    ``REPRO_NO_SHM`` / ``--no-shm``) it falls back to pickling whole
+    partitions; the fallback is recorded in :attr:`effective_plan` /
+    :attr:`downgraded` and surfaced through EngineStats.
     """
 
     name = "process"
     _executor_cls = ProcessPoolExecutor
+
+    def __init__(self, n_workers: int | None = None, n_partitions: int | None = None):
+        super().__init__(n_workers, n_partitions)
+        self.effective_plan: str | None = None
+        self.downgraded = False
 
     def _phase1(
         self,
@@ -244,31 +267,48 @@ class ProcessBackend(_PartitionedBackend):
         spans: list[tuple[int, int]],
         config: MiningConfig,
     ) -> set[frozenset[int]]:
-        if (
-            self.n_workers == 1
-            or len(spans) == 1
-            or "fork" not in multiprocessing.get_all_start_methods()
-        ):
+        if self.n_workers == 1 or len(spans) == 1:
+            # the base class runs this shape inline — no pool, no copy
+            self.effective_plan = "process:inline"
+            self.downgraded = False
             return super()._phase1(db, spans, config)
+        if shm_available():
+            try:
+                lease = publish_database(db)
+            except SegmentError:  # pragma: no cover - e.g. /dev/shm full
+                lease = None
+            if lease is not None:
+                return self._phase1_shm(lease.name, spans, config)
+        # fallback: pickle whole partitions through the default pool —
+        # intentional under REPRO_NO_SHM, a downgrade everywhere else
+        self.effective_plan = "process:pickle"
+        self.downgraded = not os.environ.get(NO_SHM_ENV)
+        return super()._phase1(db, spans, config)
+
+    def _phase1_shm(
+        self,
+        segment: str,
+        spans: list[tuple[int, int]],
+        config: MiningConfig,
+    ) -> set[frozenset[int]]:
         n_spans = len(spans)
-        _partition._FORK_DB = db
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(self.n_workers, n_spans),
-                mp_context=multiprocessing.get_context("fork"),
-            ) as pool:
-                locals_ = list(
-                    pool.map(
-                        _forked_local_candidates,
-                        [a for a, _ in spans],
-                        [b for _, b in spans],
-                        [config.min_support] * n_spans,
-                        [config.max_len] * n_spans,
-                        [config.algorithm] * n_spans,
-                    )
+        start_method = multiprocessing.get_start_method()
+        self.effective_plan = f"process:shm-{start_method}"
+        self.downgraded = False
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, n_spans)
+        ) as pool:
+            locals_ = list(
+                pool.map(
+                    shm_local_candidates,
+                    [segment] * n_spans,
+                    [a for a, _ in spans],
+                    [b for _, b in spans],
+                    [config.min_support] * n_spans,
+                    [config.max_len] * n_spans,
+                    [config.algorithm] * n_spans,
                 )
-        finally:
-            _partition._FORK_DB = None
+            )
         candidates: set[frozenset[int]] = set()
         for c in locals_:
             candidates |= c

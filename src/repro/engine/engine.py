@@ -15,6 +15,7 @@ same trace content never mines twice.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -232,6 +233,22 @@ class MiningEngine:
         resolved = self.backend.resolve(db)
         if resolved is not self.backend:
             stats.backend = f"{self.backend.name}:{resolved.name}"
+        if cache_status == "hit":
+            # no mining ran, so the backend executed no plan this time
+            stats.backend_effective = "cache"
+        else:
+            stats.backend_effective = getattr(resolved, "effective_plan", None)
+            stats.backend_downgraded = bool(
+                getattr(resolved, "downgraded", False)
+            )
+            if stats.backend_downgraded:
+                warnings.warn(
+                    f"backend {stats.backend} downgraded to "
+                    f"{stats.backend_effective}: shared-memory plane "
+                    "unavailable, pickling partitions instead",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         stats.add(
             StageStats(
                 "mine",

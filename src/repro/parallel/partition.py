@@ -32,13 +32,12 @@ from ..core.itemsets import FrequentItemsets
 from ..core.mining import ALGORITHMS, MiningConfig
 from ..core.transactions import TransactionDatabase
 
-__all__ = ["son_mine", "count_candidates", "local_candidates"]
+__all__ = ["son_mine", "count_candidates", "local_candidates", "shm_local_candidates"]
 
-#: parent database for fork-inherited workers; set by ProcessBackend right
-#: before it creates its fork-context pool and cleared right after.  Forked
-#: children see the parent's fully built packed bitmaps through
-#: copy-on-write pages instead of unpickling (or re-deriving) partitions.
-_FORK_DB: TransactionDatabase | None = None
+#: per-worker-process cache of attached databases, by segment name; one
+#: pool worker mines several spans of the same database, so the segment
+#: is attached (and its manifest parsed) exactly once per process
+_ATTACHED: dict[str, TransactionDatabase] = {}
 
 
 def local_candidates(
@@ -52,25 +51,32 @@ def local_candidates(
     return set(miner(part, min_support, max_len))
 
 
-def _forked_local_candidates(
+def shm_local_candidates(
+    segment: str,
     start: int,
     stop: int,
     min_support: float,
     max_len: int | None,
     algorithm: str,
 ) -> set[frozenset[int]]:
-    """Phase-1 worker for fork-based pools: partition by transaction range.
+    """Phase-1 worker for shared-memory pools: attach, slice, mine.
 
-    Runs in a forked child where :data:`_FORK_DB` is the parent's database
-    (inherited, not pickled).  The partition is a zero-copy
-    :meth:`~repro.core.transactions.TransactionDatabase.txn_range` view;
-    because SON partition bounds are 64-aligned, the view also inherits a
-    word-slice of the parent's packed bitmaps, so the child never rebuilds
-    a vertical representation.
+    Runs under *any* start method (spawn included): the worker attaches
+    the published database as read-only zero-copy views — memoised per
+    process in :data:`_ATTACHED`, since a pool worker mines many spans —
+    and takes a :meth:`~repro.core.transactions.TransactionDatabase.txn_range`
+    view of its span.  SON partition bounds are 64-aligned, so the view
+    inherits a word-slice of the *published* packed bitmaps and the
+    child never rebuilds a vertical representation — the same zero-copy
+    property fork inheritance used to provide, without fork.
     """
-    if _FORK_DB is None:  # pragma: no cover - guards misuse outside the pool
-        raise RuntimeError("_forked_local_candidates called without _FORK_DB")
-    part = _FORK_DB.txn_range(start, stop)
+    db = _ATTACHED.get(segment)
+    if db is None:
+        from ..shm.database import attach_database
+
+        db = attach_database(segment)
+        _ATTACHED[segment] = db
+    part = db.txn_range(start, stop)
     return local_candidates(part, min_support, max_len, algorithm)
 
 

@@ -110,6 +110,32 @@ class BatchMaskKernel:
         # needs at least one hit to exist), so mask them out here too
         self._has_ant = self.ant_sizes > 0
 
+    @classmethod
+    def from_masks(
+        cls,
+        ant_masks: np.ndarray,
+        cons_masks: np.ndarray,
+        ant_sizes: np.ndarray,
+        cons_sizes: np.ndarray,
+    ) -> "BatchMaskKernel":
+        """Adopt already-packed mask matrices without recompiling them.
+
+        The shm attach path: mask rows come in as read-only zero-copy
+        views of a published segment, so construction is O(1) — no
+        :func:`~repro.core.ruletable.pack_side_masks` pass.  Contiguous
+        inputs are adopted as-is (``ascontiguousarray`` never copies a
+        C-contiguous array, read-only or not).
+        """
+        self = object.__new__(cls)
+        self.ant_masks = np.ascontiguousarray(ant_masks, dtype=np.uint64)
+        self.cons_masks = np.ascontiguousarray(cons_masks, dtype=np.uint64)
+        self.ant_sizes = np.ascontiguousarray(ant_sizes, dtype=np.int32)
+        self.cons_sizes = np.ascontiguousarray(cons_sizes, dtype=np.int32)
+        self.n_rules = int(self.ant_masks.shape[0])
+        self.n_words = int(self.ant_masks.shape[1])
+        self._has_ant = self.ant_sizes > 0
+        return self
+
     def _rule_block(self, n_jobs: int) -> int:
         """Rules per chunk keeping ``(n_jobs, block)`` temps bounded."""
         return max(1, _CHUNK_WORDS // max(1, n_jobs))

@@ -130,6 +130,7 @@ class RuleIndex:
         "_wire",
         "_wire_json",
         "_kernel",
+        "shm_segment",
     )
 
     def __init__(
@@ -146,18 +147,36 @@ class RuleIndex:
             # object input is re-keyed into a canonical table first, so
             # both construction paths share the one columnar build below
             table = _canonical_from_rules(tuple(rules or ()))
+        self._init_compiled(table, kernel=None, wire_json=None)
+        # local builds pay the scalar compile up front, exactly as before
+        # the shared-memory plane existed — the lazy path is for attach
+        self._build_scalar()
+
+    def _init_compiled(
+        self,
+        table: RuleTable,
+        *,
+        kernel: BatchMaskKernel | None,
+        wire_json: list[tuple[str, str]] | None,
+    ) -> None:
+        """Set up the compiled (batch) plane; scalar structures stay lazy.
+
+        The table is trusted to already be in canonical order — both
+        callers guarantee it (:meth:`__init__` sorts, the shm attach path
+        maps a table that was published from a sorted index).
+        """
         self._table = table
         self._rules: tuple[AssociationRule, ...] | None = None
+        #: shared-memory attachment backing this index's arrays (attach
+        #: path only); riding here keeps the mapping alive with the views
+        self.shm_segment = None
 
         vocabulary = table.vocabulary
-        postings: dict[str, list[int]] = {}
         #: built-in accepted spelling → canonical key (vocabulary items)
         canon: dict[str, str] = {}
         item_of: dict[str, Item] = {}
         id_of: dict[str, int] = {}
         items_by_id: list[Item] = []
-        keys_by_id: list[str] = []
-        renders_by_id: list[str] = []
         for item_id, item in enumerate(vocabulary):
             key = str(item)
             canon[key] = key
@@ -165,22 +184,55 @@ class RuleIndex:
             item_of[key] = item
             id_of[key] = item_id
             items_by_id.append(item)
-            keys_by_id.append(key)
-            renders_by_id.append(item.render())
+        self._canon = canon
+        #: learned spelling → canonical key or None; bounded, FIFO-evicted
+        self._canon_extra: dict[str, str | None] = {}
+        self._item_of = item_of
+        self._id_of = id_of
+        self._items_by_id = items_by_id
 
-        self._ant_sizes: list[int] = []
-        self._ant_keys: list[frozenset[str]] = []
-        self._cons_keys: list[frozenset[str]] = []
-        self._wire: list[dict] = []
-        self._wire_json: list[tuple[str, str]] = []
+        # scalar structures (inverted index, per-rule key sets, wire
+        # dicts) are built on demand by _build_scalar; the wire JSON
+        # fragments may arrive precomputed from a published rule plane
+        self._postings: dict[str, list[int]] | None = None
+        self._ant_sizes: list[int] | None = None
+        self._ant_keys: list[frozenset[str]] | None = None
+        self._cons_keys: list[frozenset[str]] | None = None
+        self._wire: list[dict] | None = None
+        self._wire_json = wire_json
+        # compiled once per index build — i.e. once per hot-swap, since a
+        # reload always carries a fresh RuleIndex through the flip marker
+        self._kernel = kernel if kernel is not None else BatchMaskKernel(table)
+
+    def _build_scalar(self) -> None:
+        """Build the scalar inverted-index structures (idempotent).
+
+        The batch wire path (``match_wire_batch``) needs none of these —
+        an shm-attached index serves whole micro-batches straight off
+        the kernel and the precomputed wire fragments, and only pays
+        this build if a scalar ``match``/``explain`` request arrives.
+        """
+        if self._postings is not None:
+            return
+        table = self._table
+        keys_by_id = [str(item) for item in self._items_by_id]
+        renders_by_id = [item.render() for item in self._items_by_id]
+        postings: dict[str, list[int]] = {}
+        ant_sizes: list[int] = []
+        ant_keys_all: list[frozenset[str]] = []
+        cons_keys_all: list[frozenset[str]] = []
+        wire_all: list[dict] = []
+        wire_json: list[tuple[str, str]] | None = (
+            [] if self._wire_json is None else None
+        )
         for rule_id in range(len(table)):
             ant_row = table.ant_row(rule_id)
             cons_row = table.cons_row(rule_id)
             ant_keys = frozenset(keys_by_id[int(x)] for x in ant_row)
             cons_keys = frozenset(keys_by_id[int(x)] for x in cons_row)
-            self._ant_sizes.append(len(ant_keys))
-            self._ant_keys.append(ant_keys)
-            self._cons_keys.append(cons_keys)
+            ant_sizes.append(len(ant_keys))
+            ant_keys_all.append(ant_keys)
+            cons_keys_all.append(cons_keys)
             for key in ant_keys:
                 postings.setdefault(key, []).append(rule_id)
             wire = {
@@ -191,27 +243,45 @@ class RuleIndex:
                 "confidence": float(table.confidence[rule_id]),
                 "lift": float(table.lift[rule_id]),
             }
-            self._wire.append(wire)
-            self._wire_json.append(
-                (
-                    json.dumps({**wire, "consequent_observed": False}),
-                    json.dumps({**wire, "consequent_observed": True}),
+            wire_all.append(wire)
+            if wire_json is not None:
+                wire_json.append(
+                    (
+                        json.dumps({**wire, "consequent_observed": False}),
+                        json.dumps({**wire, "consequent_observed": True}),
+                    )
                 )
-            )
+        self._ant_sizes = ant_sizes
+        self._ant_keys = ant_keys_all
+        self._cons_keys = cons_keys_all
+        self._wire = wire_all
+        if wire_json is not None:
+            self._wire_json = wire_json
         self._postings = postings
-        self._canon = canon
-        #: learned spelling → canonical key or None; bounded, FIFO-evicted
-        self._canon_extra: dict[str, str | None] = {}
-        self._item_of = item_of
-        self._id_of = id_of
-        self._items_by_id = items_by_id
-        # compiled once per index build — i.e. once per hot-swap, since a
-        # reload always carries a fresh RuleIndex through the flip marker
-        self._kernel = BatchMaskKernel(table)
 
     @classmethod
     def from_rulebook(cls, book: RuleBook) -> "RuleIndex":
         return cls(table=book.table)
+
+    @classmethod
+    def from_compiled(
+        cls,
+        table: RuleTable,
+        *,
+        kernel: BatchMaskKernel,
+        wire_json: list[tuple[str, str]],
+    ) -> "RuleIndex":
+        """Adopt an already-compiled rule plane without recompiling it.
+
+        The shm attach path: *table* (canonical order trusted), the
+        packed-bitmask *kernel* and the per-rule *wire_json* fragments
+        come straight out of a published segment, so construction is
+        O(vocabulary) — no canonical sort, no mask packing, no JSON
+        encoding.  Scalar structures build lazily on first scalar call.
+        """
+        self = object.__new__(cls)
+        self._init_compiled(table, kernel=kernel, wire_json=wire_json)
+        return self
 
     @property
     def table(self) -> RuleTable:
@@ -229,6 +299,7 @@ class RuleIndex:
         return len(self._table)
 
     def __repr__(self) -> str:
+        self._build_scalar()
         return (
             f"RuleIndex(n_rules={len(self)}, "
             f"n_indexed_items={len(self._postings)})"
@@ -237,6 +308,7 @@ class RuleIndex:
     @property
     def n_postings(self) -> int:
         """Total (item, rule) pairs — the index's memory-side cost."""
+        self._build_scalar()
         return sum(len(p) for p in self._postings.values())
 
     # -- matching ----------------------------------------------------------------
@@ -289,6 +361,7 @@ class RuleIndex:
         unknown to the index are ignored — an online job may carry
         features the mined vocabulary never saw.
         """
+        self._build_scalar()
         keys = self._normalize(transaction)
         return [
             Match(
@@ -310,6 +383,7 @@ class RuleIndex:
         ``match_result`` payload, with zero per-request serialisation of
         rule content — and zero rule-object materialisation.
         """
+        self._build_scalar()
         keys = self._normalize(transaction)
         wire_json = self._wire_json
         cons_keys = self._cons_keys
@@ -339,6 +413,7 @@ class RuleIndex:
         (they either fire or share nothing with the job, so there is no
         partial evidence to hint from).
         """
+        self._build_scalar()
         keys = self._normalize(transaction)
         sizes = self._ant_sizes
         near_ids = sorted(
@@ -418,6 +493,7 @@ class RuleIndex:
 
     def match_batch(self, transactions: list) -> list[list[Match]]:
         """Batch form of :meth:`match`: ranked :class:`Match` lists."""
+        self._build_scalar()
         out: list[list[Match]] = [[] for _ in transactions]
         if not out or not len(self._table):
             return out

@@ -529,10 +529,23 @@ class ShardRouter:
         the same rulebook no matter which replica answered.
         """
         path = request.get("rulebook")
-        if not isinstance(path, str) or not path:
+        segment = request.get("segment")
+        if path is not None and (not isinstance(path, str) or not path):
             self.n_bad_requests += 1
             return _error_line(
-                request_id, "bad_request", "reload needs a 'rulebook' path"
+                request_id, "bad_request", "reload 'rulebook' must be a path"
+            )
+        if segment is not None and (not isinstance(segment, str) or not segment):
+            self.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "reload 'segment' must be a name"
+            )
+        if path is None and segment is None:
+            self.n_bad_requests += 1
+            return _error_line(
+                request_id,
+                "bad_request",
+                "reload needs a 'rulebook' path or a 'segment' name",
             )
         version = request.get("version")
         if version is None:
@@ -540,9 +553,14 @@ class ShardRouter:
             version = int(probe.get("version") or 0) + 1
         payload: dict = {
             "type": "reload",
-            "rulebook": path,
             "version": version,
         }
+        if path is not None:
+            payload["rulebook"] = path
+        if segment is not None:
+            # the shards attach the published shared-memory plane and
+            # only fall back to the rulebook path if the attach fails
+            payload["segment"] = segment
         if request.get("version_tag") is not None:
             payload["version_tag"] = request["version_tag"]
         line = json.dumps(payload).encode() + b"\n"

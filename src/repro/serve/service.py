@@ -17,7 +17,14 @@ Protocol (one JSON object per line, both directions)::
        "requests": {...}, "rule_matches": {...}}
 
     → {"type": "reload", "rulebook": "/path/to/book.jsonl"}
-    ← {"type": "reload_result", "version": 2, "n_rules": ...}
+    → {"type": "reload", "segment": "rsm.r...", "rulebook": "..."}
+    ← {"type": "reload_result", "version": 2, "n_rules": ...,
+       "source": "segment"|"path"}
+
+A reload carrying a ``segment`` name attaches the pre-compiled rule
+plane published in shared memory (zero-copy, milliseconds); the
+``rulebook`` path, when also present, is the fallback if the segment
+cannot be attached (shm unavailable, ``REPRO_NO_SHM``, stale name).
 
 Design points, mirroring what a production sidecar needs:
 
@@ -77,6 +84,8 @@ from typing import Callable, Iterable
 
 from ..core.items import Item
 from ..engine.stats import LatencyHistogram
+from ..shm.ruleplane import attach_rule_plane
+from ..shm.segment import SegmentError, shm_available
 from .index import RuleIndex
 from .rulebook import RuleBook, RuleBookSchemaError
 
@@ -413,10 +422,23 @@ class RuleService:
                 request_id, "shutting_down", "service is draining"
             )
         path = request.get("rulebook")
-        if not isinstance(path, str) or not path:
+        segment = request.get("segment")
+        if path is not None and (not isinstance(path, str) or not path):
             self.metrics.n_bad_requests += 1
             return _error_line(
-                request_id, "bad_request", "reload needs a 'rulebook' path"
+                request_id, "bad_request", "reload 'rulebook' must be a path"
+            )
+        if segment is not None and (not isinstance(segment, str) or not segment):
+            self.metrics.n_bad_requests += 1
+            return _error_line(
+                request_id, "bad_request", "reload 'segment' must be a name"
+            )
+        if path is None and segment is None:
+            self.metrics.n_bad_requests += 1
+            return _error_line(
+                request_id,
+                "bad_request",
+                "reload needs a 'rulebook' path or a 'segment' name",
             )
         version = request.get("version")
         if version is not None and not isinstance(version, int):
@@ -424,14 +446,37 @@ class RuleService:
             return _error_line(
                 request_id, "bad_request", "reload version must be an integer"
             )
-        try:
-            # book parse + index build off the event loop: serving
-            # continues on the old index while the new one is prepared
-            index, fingerprint = await asyncio.to_thread(
-                _load_index, path
-            )
-        except (OSError, RuleBookSchemaError, ValueError) as exc:
-            return _error_line(request_id, "reload_failed", str(exc))
+        index = None
+        source = None
+        fingerprint = None
+        if segment is not None and shm_available():
+            try:
+                # zero-copy attach: milliseconds regardless of rulebook size
+                index, plane_meta = await asyncio.to_thread(
+                    attach_rule_plane, segment
+                )
+            except SegmentError as exc:
+                if path is None:
+                    return _error_line(request_id, "reload_failed", str(exc))
+            else:
+                source = "segment"
+                fingerprint = plane_meta.get("version_tag")
+        if index is None:
+            if path is None:
+                return _error_line(
+                    request_id,
+                    "reload_failed",
+                    "shared memory unavailable and no 'rulebook' fallback",
+                )
+            try:
+                # book parse + index build off the event loop: serving
+                # continues on the old index while the new one is prepared
+                index, fingerprint = await asyncio.to_thread(
+                    _load_index, path
+                )
+            except (OSError, RuleBookSchemaError, ValueError) as exc:
+                return _error_line(request_id, "reload_failed", str(exc))
+            source = "path"
         tag = request.get("version_tag")
         if tag is None:
             tag = fingerprint
@@ -443,6 +488,7 @@ class RuleService:
                 "version": applied,
                 "version_tag": tag,
                 "n_rules": len(index),
+                "source": source,
             }
         )
 

@@ -13,10 +13,12 @@ Two deployment modes, both driven by ``repro serve --shards N``:
   opens a private control listener where the parent (and the
   ``reload-rulebook`` CLI) sends control messages.
 
-Workers are real OS processes (``python -m repro.serve.shard``), not
-forks: each builds its own RuleIndex from the rulebook path, so there is
-no pickling of live indexes and no shared interpreter state.  A worker
-announces readiness by printing one line::
+Workers are real OS processes spawned fresh (``python -m
+repro.serve._shard_worker``), never forked: nothing is pickled and no
+interpreter state is shared.  Each worker either attaches the published
+shared-memory rule plane (one compile, N zero-copy attaches) or, when
+the plane is unavailable, builds its own RuleIndex from the rulebook
+path.  A worker announces readiness by printing one line::
 
     SHARD_READY name=shard0 pid=4242 port=43121 control_port=43997
 
@@ -42,6 +44,14 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from ..shm.ruleplane import attach_rule_plane, publish_rule_plane
+from ..shm.segment import (
+    SegmentError,
+    SegmentLease,
+    gc_stale_segments,
+    shm_available,
+)
+from .index import RuleIndex
 from .router import ShardHandle, ShardRouter
 from .rulebook import RuleBook
 from .service import MAX_LINE_BYTES, RuleService
@@ -94,6 +104,7 @@ class ShardProcess:
         control: bool = False,
         max_queue: int | None = None,
         max_batch: int | None = None,
+        segment: str | None = None,
     ):
         self.name = name
         self.rulebook = rulebook
@@ -103,6 +114,7 @@ class ShardProcess:
         self.control = control
         self.max_queue = max_queue
         self.max_batch = max_batch
+        self.segment = segment
         self.port: int | None = None
         self.control_port: int | None = None
         self.pid: int | None = None
@@ -132,6 +144,8 @@ class ShardProcess:
             cmd.extend(["--max-queue", str(self.max_queue)])
         if self.max_batch is not None:
             cmd.extend(["--max-batch", str(self.max_batch)])
+        if self.segment is not None:
+            cmd.extend(["--segment", self.segment])
         return cmd
 
     async def spawn(
@@ -274,6 +288,7 @@ async def broadcast_reload(
     *,
     version: int | None = None,
     version_tag: str | None = None,
+    segment: str | None = None,
     timeout: float = 60.0,
 ) -> dict:
     """Rolling reload across *ports*, one endpoint at a time.
@@ -284,6 +299,11 @@ async def broadcast_reload(
     tags would otherwise diverge between replicas.  With a single port
     (a router, which does its own rolling broadcast, or a lone service)
     the receiving end picks the version itself.
+
+    When *segment* names a published shared-memory rule plane, each
+    endpoint attaches it zero-copy instead of re-parsing and
+    re-compiling the rulebook; the path still rides along as the
+    fallback for endpoints that cannot see shared memory.
     """
     ports = list(ports)
     if not ports:
@@ -304,6 +324,8 @@ async def broadcast_reload(
         payload["version"] = version
     if version_tag is not None:
         payload["version_tag"] = version_tag
+    if segment is not None:
+        payload["segment"] = segment
     outcomes = []
     n_rules = None
     final_tag = version_tag
@@ -396,8 +418,42 @@ class ShardCluster:
         ]
         self.router: ShardRouter | None = None
         self._reuseport_port: int | None = None
+        self._plane_lease: SegmentLease | None = None
+        self._generation = 0
+
+    def _publish_plane(self, rulebook: str) -> SegmentLease | None:
+        """Compile *rulebook* once and publish it to shared memory.
+
+        Runs in a thread (index compilation is CPU-bound).  Returns
+        ``None`` when shared memory is unavailable — workers then fall
+        back to compiling their own index from the rulebook path.
+        """
+        if not shm_available():
+            return None
+        book = RuleBook.load(rulebook)
+        index = RuleIndex.from_rulebook(book)
+        self._generation += 1
+        return publish_rule_plane(
+            index,
+            generation=self._generation,
+            version_tag=book.fingerprint,
+        )
 
     async def start(self) -> None:
+        # reap segments orphaned by crashed predecessors before adding ours
+        await asyncio.to_thread(gc_stale_segments)
+        try:
+            self._plane_lease = await asyncio.to_thread(
+                self._publish_plane, self.rulebook
+            )
+        except (OSError, ValueError, SegmentError) as exc:
+            # a bad rulebook will be reported by the first worker; a shm
+            # hiccup just means every worker compiles its own copy
+            print(f"cluster: rule-plane publish skipped: {exc}", flush=True)
+            self._plane_lease = None
+        if self._plane_lease is not None:
+            for worker in self.workers:
+                worker.segment = self._plane_lease.name
         if self.mode == "reuseport":
             port = self.requested_port or _pick_free_port(self.host)
             for worker in self.workers:
@@ -469,18 +525,40 @@ class ShardCluster:
         version: int | None = None,
         version_tag: str | None = None,
     ) -> dict:
-        """Rolling hot-swap of every shard's rulebook."""
+        """Rolling hot-swap of every shard's rulebook.
+
+        The parent compiles and publishes the new rule plane *once*;
+        the broadcast then ships only the segment name, so each shard's
+        flip is a zero-copy attach instead of a parse-and-compile.  The
+        previous generation's segment is retired after the broadcast —
+        shards that already attached it keep their mappings alive.
+        """
+        previous = self._plane_lease
+        try:
+            lease = await asyncio.to_thread(self._publish_plane, rulebook)
+        except (OSError, ValueError, SegmentError):
+            # let the per-shard path reload report the real error
+            lease = None
         if self.mode == "router":
             ports = [self.port]
         else:
             ports = self.control_ports
-        return await broadcast_reload(
+        result = await broadcast_reload(
             self.host,
             ports,
             rulebook,
             version=version,
             version_tag=version_tag,
+            segment=lease.name if lease is not None else None,
         )
+        self.rulebook = rulebook
+        if lease is not None:
+            self._plane_lease = lease
+            if previous is not None and previous.name != lease.name:
+                previous.unlink()
+            for worker in self.workers:
+                worker.segment = lease.name
+        return result
 
     def kill_shard(self, k: int) -> ShardProcess:
         """SIGKILL worker *k* (chaos testing / CI smoke)."""
@@ -499,6 +577,10 @@ class ShardCluster:
                 await worker.stop()
             except asyncio.TimeoutError:  # pragma: no cover
                 worker.kill()
+        if self._plane_lease is not None:
+            # workers are gone; drop the segment so /dev/shm stays clean
+            self._plane_lease.unlink()
+            self._plane_lease = None
 
 
 async def run_cluster(cluster: ShardCluster) -> None:
@@ -536,17 +618,40 @@ def _build_worker_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--max-queue", type=int, default=None)
     parser.add_argument("--max-batch", type=int, default=None)
+    parser.add_argument(
+        "--segment",
+        default=None,
+        help="shared-memory rule-plane segment to attach instead of "
+        "compiling the rulebook (falls back to --rulebook)",
+    )
     return parser
 
 
 async def _run_worker(args: argparse.Namespace) -> None:
-    book = RuleBook.load(args.rulebook)
     kwargs: dict = {"name": args.name}
     if args.max_queue is not None:
         kwargs["max_queue"] = args.max_queue
     if args.max_batch is not None:
         kwargs["max_batch"] = args.max_batch
-    service = RuleService.from_rulebook(book, **kwargs)
+    service = None
+    if args.segment and shm_available():
+        try:
+            index, plane_meta = attach_rule_plane(args.segment)
+        except SegmentError as exc:
+            print(
+                f"shard {args.name}: segment {args.segment} not "
+                f"attachable ({exc}); compiling from rulebook",
+                flush=True,
+            )
+        else:
+            service = RuleService(
+                index,
+                version_tag=plane_meta.get("version_tag"),
+                **kwargs,
+            )
+    if service is None:
+        book = RuleBook.load(args.rulebook)
+        service = RuleService.from_rulebook(book, **kwargs)
 
     def on_ready(svc: RuleService) -> None:
         parts = [

@@ -14,11 +14,14 @@ the serving subsystem — the ``repro serve --follow`` wiring:
    (every ``interval_s`` seconds, provided at least ``min_events`` new
    transactions arrived);
 4. when a tick remines, **save** the new versioned RuleBook (stream
-   provenance in its header) and push it through
+   provenance in its header), **publish** its compiled rule plane to
+   shared memory once, and push it through
    :func:`~repro.serve.shard.broadcast_reload` — the same rolling
    hot-swap path the ``reload-rulebook`` CLI uses, so the shard fleet
    flips atomically per replica, tagged with the new book's
-   fingerprint, without restarts or mixed-version batches.
+   fingerprint, without restarts or mixed-version batches.  Each shard
+   attaches the published segment zero-copy; the saved rulebook path
+   rides along as the fallback when shared memory is unavailable.
 
 The ingest/tick work runs in a worker thread (``asyncio.to_thread``) so
 the event loop that owns the serving cluster keeps answering control
@@ -35,6 +38,8 @@ from pathlib import Path
 from typing import Callable
 
 from ..serve.shard import broadcast_reload
+from ..shm.ruleplane import publish_rule_plane
+from ..shm.segment import SegmentError, SegmentLease, shm_available
 from .refresh import RuleBookRefresher, TickResult
 
 __all__ = ["FollowStats", "StreamFollower"]
@@ -130,6 +135,8 @@ class StreamFollower:
         self._offset = 0
         self._tail_buffer = b""
         self._pending: list[list] = []
+        self._plane_lease: SegmentLease | None = None
+        self._generation = 0
 
     # -- tailing ----------------------------------------------------------------
     def _poll_stream(self) -> int:
@@ -184,15 +191,45 @@ class StreamFollower:
         self.stats.last_book_path = str(path)
         return path
 
+    def _publish_plane(self, result: TickResult) -> SegmentLease | None:
+        """Worker-thread body: compile the new book's plane once.
+
+        Returns ``None`` when shared memory is unavailable — the
+        broadcast then ships only the rulebook path and every shard
+        compiles its own index, exactly the pre-shm behaviour.
+        """
+        if not shm_available():
+            return None
+        from ..serve.index import RuleIndex
+
+        index = RuleIndex.from_rulebook(result.book)
+        self._generation += 1
+        return publish_rule_plane(
+            index,
+            generation=self._generation,
+            version_tag=result.book.fingerprint,
+        )
+
     async def _push(self, result: TickResult, path: Path) -> None:
         if not self.ports:
             return
+        previous = self._plane_lease
+        try:
+            lease = await asyncio.to_thread(self._publish_plane, result)
+        except SegmentError:
+            lease = None
         report = await broadcast_reload(
             self.host,
             self.ports,
             str(path),
             version_tag=result.book.fingerprint,
+            segment=lease.name if lease is not None else None,
         )
+        if lease is not None:
+            self._plane_lease = lease
+            if previous is not None and previous.name != lease.name:
+                # shards that attached it keep their mappings alive
+                previous.unlink()
         self.stats.reload_reports.append(report)
         if report["status"] == "ok":
             self.stats.n_reloads += 1
@@ -233,4 +270,8 @@ class StreamFollower:
         self._poll_stream()
         if self._pending:
             await self._tick_once()
+        if self._plane_lease is not None:
+            # the fleet already attached (or fell back); drop our name
+            self._plane_lease.unlink()
+            self._plane_lease = None
         return self.stats

@@ -1,0 +1,34 @@
+"""Subprocess body for the spawn-start-method mining equality test.
+
+Run as a real script (never via stdin): the spawn start method re-imports
+``__main__`` from its file path, so the entry point must live on disk and
+sit behind a ``__main__`` guard.  Prints ``SPAWN_MINING_OK`` when the
+process backend parallelised under spawn and matched the serial oracle.
+"""
+
+import multiprocessing
+
+
+def main() -> None:
+    from repro.core import MiningConfig
+    from repro.engine import ProcessBackend, SerialBackend
+    from repro.traces.synthetic.pai import (
+        PAIConfig,
+        generate_pai,
+        pai_preprocessor,
+    )
+
+    db = pai_preprocessor().run(generate_pai(PAIConfig(n_jobs=2000))).database
+    config = MiningConfig()
+    resolved = ProcessBackend(n_workers=2, n_partitions=4).resolve(db)
+    got = resolved.mine(db, config)
+    expected = SerialBackend().resolve(db).mine(db, config)
+    assert resolved.effective_plan == "process:shm-spawn", resolved.effective_plan
+    assert not resolved.downgraded
+    assert dict(got.counts) == dict(expected.counts)
+    print(f"SPAWN_MINING_OK plan={resolved.effective_plan}", flush=True)
+
+
+if __name__ == "__main__":
+    multiprocessing.set_start_method("spawn", force=True)
+    main()

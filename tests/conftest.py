@@ -7,6 +7,8 @@ different scale or seed generate their own.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import MiningConfig, TransactionDatabase
@@ -60,6 +62,45 @@ def philly_db(philly_table):
 @pytest.fixture(scope="session")
 def default_config():
     return MiningConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reap_preexisting_segments():
+    """Start from a clean slate: segments orphaned by earlier runs are
+    not this session's leaks."""
+    from repro.shm.segment import gc_stale_segments
+
+    gc_stale_segments()
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_check():
+    """Fail any test that leaks a shared-memory segment.
+
+    A segment whose owner pid is dead is a leak outright (serve/chaos
+    tests kill workers; their segments must be reaped).  A rule-plane
+    segment still owned by *this* process means whoever published it
+    (a cluster or follower under test) forgot to unlink on the way out.
+    Database segments owned by this live process are the mining lease
+    cache and are allowed to persist across tests.
+    """
+    yield
+    from repro.shm.segment import _pid_alive, list_segments
+
+    leaked = []
+    for name in list_segments():
+        parts = name.split(".")
+        if len(parts) < 5:
+            continue
+        try:
+            owner = int(parts[3])
+        except ValueError:
+            continue
+        if not _pid_alive(owner):
+            leaked.append(f"{name} (dead owner)")
+        elif owner == os.getpid() and parts[1] == "r":
+            leaked.append(f"{name} (rule plane not unlinked)")
+    assert not leaked, f"leaked shm segments: {leaked}"
 
 
 @pytest.fixture()
